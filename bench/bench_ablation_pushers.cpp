@@ -1,0 +1,112 @@
+//===-- bench/bench_ablation_pushers.cpp - Pusher scheme ablation --------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation across integration schemes (the paper's Section 2 discussion
+/// and its Ref. [11], Ripperda et al.): cost per particle-step and two
+/// accuracy probes (gyro-phase error over one period; E x B drift error)
+/// for Boris, Vay and Higuera-Cary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchmarkHarness.h"
+
+using namespace hichi;
+using namespace hichi::bench;
+
+namespace {
+
+template <typename Pusher>
+double costPerParticleStep(const BenchSizes &Sizes) {
+  using Array = ParticleArrayAoS<double>;
+  Array Particles(Sizes.Particles);
+  initializeRandomEnsemble(Particles, Sizes.Particles,
+                           ParticleTypeTable<double>::natural(),
+                           Vector3<double>::zero(), 1.0, 2.0, 1.0,
+                           PS_Electron);
+  auto Types = ParticleTypeTable<double>::natural();
+  const FieldSample<double> F{{0.1, 0, 0}, {0, 0, 1.0}};
+  auto View = Particles.view();
+  const auto *TypesPtr = Types.data();
+
+  auto Pass = [&] {
+    for (Index I = 0; I < Sizes.Particles; ++I)
+      Pusher::template push<double>(View[I], F, TypesPtr, 0.01, 1.0);
+  };
+  Pass(); // warmup
+  Stopwatch Watch;
+  for (int R = 0; R < Sizes.StepsPerIteration; ++R)
+    Pass();
+  return double(Watch.elapsedNanoseconds()) /
+         (double(Sizes.Particles) * Sizes.StepsPerIteration);
+}
+
+/// Momentum-direction error after one exact gyro-period at the given
+/// steps-per-period resolution.
+template <typename Pusher> double gyroPhaseError(int StepsPerPeriod) {
+  ParticleArrayAoS<double> A(1);
+  ParticleT<double> Init;
+  Init.Momentum = {1.0, 0, 0};
+  Init.Gamma = lorentzGamma(Init.Momentum, 1.0, 1.0);
+  A.pushBack(Init);
+  auto Types = ParticleTypeTable<double>::natural();
+  const FieldSample<double> F{{0, 0, 0}, {0, 0, 1.0}};
+  const double Period = 2 * constants::Pi * Init.Gamma;
+  const double Dt = Period / StepsPerPeriod;
+  for (int S = 0; S < StepsPerPeriod; ++S)
+    Pusher::template push<double>(A[0], F, Types.data(), Dt, 1.0);
+  return (A[0].momentum() - Init.Momentum).norm();
+}
+
+/// Momentum drift of a particle initialized exactly on the E x B drift.
+template <typename Pusher> double exbDriftError() {
+  const double Ey = 0.5, Bz = 1.0;
+  const double Vd = Ey / Bz;
+  const double Gamma = 1.0 / std::sqrt(1.0 - Vd * Vd);
+  ParticleArrayAoS<double> A(1);
+  ParticleT<double> Init;
+  Init.Momentum = {Vd * Gamma, 0, 0};
+  Init.Gamma = Gamma;
+  A.pushBack(Init);
+  auto Types = ParticleTypeTable<double>::natural();
+  const FieldSample<double> F{{0, Ey, 0}, {0, 0, Bz}};
+  for (int S = 0; S < 500; ++S)
+    Pusher::template push<double>(A[0], F, Types.data(), 0.2, 1.0);
+  return (A[0].momentum() - Init.Momentum).norm();
+}
+
+} // namespace
+
+int main() {
+  BenchSizes Sizes = BenchSizes::fromEnv();
+
+  std::printf("Pusher scheme ablation (paper Ref. [11] comparison)\n\n");
+  std::printf("%-14s %-16s %-22s %-22s %-18s\n", "scheme", "cost ns/p/s",
+              "gyro err (64 st/T)", "gyro err (256 st/T)", "ExB drift err");
+  printRule(96);
+
+  auto Report = [&](const char *Name, double Cost, double G64, double G256,
+                    double Exb) {
+    std::printf("%-14s %-16.2f %-22.3e %-22.3e %-18.3e\n", Name, Cost, G64,
+                G256, Exb);
+  };
+  Report("Boris", costPerParticleStep<BorisPusher>(Sizes),
+         gyroPhaseError<BorisPusher>(64), gyroPhaseError<BorisPusher>(256),
+         exbDriftError<BorisPusher>());
+  Report("Vay", costPerParticleStep<VayPusher>(Sizes),
+         gyroPhaseError<VayPusher>(64), gyroPhaseError<VayPusher>(256),
+         exbDriftError<VayPusher>());
+  Report("Higuera-Cary", costPerParticleStep<HigueraCaryPusher>(Sizes),
+         gyroPhaseError<HigueraCaryPusher>(64),
+         gyroPhaseError<HigueraCaryPusher>(256),
+         exbDriftError<HigueraCaryPusher>());
+
+  std::printf("\nExpected shape: Boris cheapest; Vay/HC hold the E x B "
+              "drift to ~machine precision where Boris drifts; all are "
+              "second order in the gyro phase (16x error drop per 4x "
+              "step refinement).\n");
+  return 0;
+}

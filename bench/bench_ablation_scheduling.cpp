@@ -1,0 +1,102 @@
+//===-- bench/bench_ablation_scheduling.cpp - Scheduling ablation --------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the design choices in Section 4.3: static vs dynamic
+/// scheduling, dynamic grain size, and NUMA arenas vs flat dynamic. The
+/// paper asserts that dynamic scheduling's overhead "may not be justified"
+/// for this balanced workload; this bench quantifies exactly that term on
+/// the host, and the model column shows the NUMA term the host (one
+/// domain) cannot exhibit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchmarkHarness.h"
+#include "threading/TaskScheduler.h"
+
+using namespace hichi;
+using namespace hichi::bench;
+using namespace hichi::perfmodel;
+
+namespace {
+
+/// Times one full pass over the ensemble with the given loop flavour.
+template <typename LoopFn> double timeLoop(int Repeats, LoopFn &&Loop) {
+  Loop(); // warmup
+  Stopwatch Watch;
+  for (int R = 0; R < Repeats; ++R)
+    Loop();
+  return double(Watch.elapsedNanoseconds()) / Repeats;
+}
+
+} // namespace
+
+int main() {
+  const BenchSizes Sizes = BenchSizes::fromEnv();
+  const Index N = Sizes.Particles;
+
+  using Array = ParticleArraySoA<float>;
+  Array Particles(N);
+  initPaperEnsemble(Particles, N);
+  auto Types = ParticleTypeTable<float>::cgs();
+  auto Wave = DipoleWaveSource<float>::paperBenchmark();
+  const float Dt = paperTimeStep<float>();
+  auto View = Particles.view();
+  const auto *TypesPtr = Types.data();
+
+  auto Body = [=](Index I) {
+    auto P = View[I];
+    BorisPusher::push<float>(P, Wave(P.position(), 0.0f, I), TypesPtr, Dt,
+                             float(constants::LightVelocity));
+  };
+
+  threading::ThreadPool &Pool = threading::ThreadPool::global();
+  const int Width = Pool.maxWidth();
+  const int Repeats = std::max(1, Sizes.StepsPerIteration / 3);
+
+  std::printf("Scheduling ablation (Section 4.3): one pusher pass over "
+              "%lld particles, %d threads\n\n",
+              (long long)N, Width);
+
+  double StaticNs = timeLoop(Repeats, [&] {
+    threading::staticParallelFor(Pool, 0, N, Width, Body);
+  });
+  std::printf("%-34s %10.3f ms  (baseline: OpenMP-style)\n",
+              "static, contiguous blocks", StaticNs / 1e6);
+
+  for (Index Grain : {Index(16), Index(64), Index(256), Index(1024),
+                      Index(4096), Index(16384)}) {
+    double DynNs = timeLoop(Repeats, [&] {
+      threading::dynamicParallelFor(Pool, 0, N, Width, Grain, Body);
+    });
+    std::printf("%-34s %10.3f ms  (%+5.1f%% vs static)\n",
+                ("dynamic, grain " + std::to_string(Grain)).c_str(),
+                DynNs / 1e6, 100.0 * (DynNs - StaticNs) / StaticNs);
+  }
+
+  CpuTopology Topology = CpuTopology::detect();
+  double NumaNs = timeLoop(Repeats, [&] {
+    threading::numaParallelFor(Pool, Topology, 0, N, Width, Body);
+  });
+  std::printf("%-34s %10.3f ms  (%+5.1f%% vs static)\n",
+              "NUMA arenas, default grain", NumaNs / 1e6,
+              100.0 * (NumaNs - StaticNs) / StaticNs);
+
+  // The term the host cannot show: the cross-socket penalty of flat
+  // dynamic scheduling on the paper's 2-socket node, from the model.
+  const CpuMachine Node = CpuMachine::xeon8260LNode();
+  double Flat = predictCpuNsps(Node, Scenario::AnalyticalFields, Layout::SoA,
+                               Precision::Single, Parallelization::Dpcpp, 48)
+                    .Nsps;
+  double Arena = predictCpuNsps(Node, Scenario::AnalyticalFields, Layout::SoA,
+                                Precision::Single,
+                                Parallelization::DpcppNuma, 48)
+                     .Nsps;
+  std::printf("\nmodeled on the paper's 2-socket node: flat dynamic %.2f "
+              "NSPS vs NUMA arenas %.2f NSPS (%.0f%% penalty removed)\n",
+              Flat, Arena, 100.0 * (Flat - Arena) / Flat);
+  return 0;
+}

@@ -1,0 +1,133 @@
+//===-- bench/bench_fig1.cpp - Reproduces the paper's Fig. 1 -------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 1 of the paper: strong-scaling speedup of the OpenMP
+/// and DPC++ NUMA implementations (AoS and SoA layouts) on the
+/// 'Precalculated Fields' problem in single precision, 1-48 cores,
+/// single-core run time as the reference.
+///
+/// The model column is the scaling model of the paper's node (per-core
+/// bandwidth saturating each socket in turn, compact thread placement);
+/// the measured column runs on this host over its real core count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchmarkHarness.h"
+
+using namespace hichi;
+using namespace hichi::bench;
+using namespace hichi::perfmodel;
+
+namespace {
+
+struct Series {
+  const char *Name;
+  Layout L;
+  Parallelization Par;
+};
+
+constexpr Series AllSeries[] = {
+    {"OpenMP AoS", Layout::AoS, Parallelization::OpenMP},
+    {"OpenMP SoA", Layout::SoA, Parallelization::OpenMP},
+    {"DPC++ NUMA AoS", Layout::AoS, Parallelization::DpcppNuma},
+    {"DPC++ NUMA SoA", Layout::SoA, Parallelization::DpcppNuma},
+};
+
+template <typename Array>
+double measureWithThreads(Parallelization Par, int Threads,
+                          const BenchSizes &Sizes, minisycl::queue &Queue) {
+  RunnerOptions<float> Opts;
+  Opts.Kind = Par == Parallelization::OpenMP ? RunnerKind::OpenMpStyle
+                                             : RunnerKind::DpcppNuma;
+  Opts.Threads = Threads;
+  Array Particles(Sizes.Particles);
+  initPaperEnsemble(Particles, Sizes.Particles);
+  auto Types = ParticleTypeTable<float>::cgs();
+  auto Wave = DipoleWaveSource<float>::paperBenchmark();
+  PrecalculatedFields<float> Stored(Sizes.Particles);
+  Stored.precompute(Particles, Wave, 0.0f);
+  const float Dt = paperTimeStep<float>();
+
+  minisycl::queue *Q = Par == Parallelization::OpenMP ? nullptr : &Queue;
+  runSimulation(Particles, Stored.source(), Types, Dt,
+                Sizes.StepsPerIteration, Opts, Q); // warmup
+  double TotalNs = 0;
+  for (int It = 0; It < Sizes.Iterations; ++It)
+    TotalNs += runSimulation(Particles, Stored.source(), Types, Dt,
+                             Sizes.StepsPerIteration, Opts, Q)
+                   .HostNs;
+  return TotalNs;
+}
+
+} // namespace
+
+int main() {
+  const BenchSizes Sizes = BenchSizes::fromEnv();
+  const CpuMachine Node = CpuMachine::xeon8260LNode();
+
+  std::printf("Fig. 1 reproduction: strong-scaling speedup, Precalculated "
+              "Fields, single precision\n");
+  std::printf("model = paper's 2x24-core node; speedup relative to one "
+              "core of the same implementation\n\n");
+
+  const int Cores[] = {1, 2, 4, 8, 12, 16, 24, 32, 40, 48};
+  std::printf("%-18s", "threads (model)");
+  for (int C : Cores)
+    std::printf("%7d", C);
+  std::printf("\n");
+  printRule(18 + 7 * int(std::size(Cores)));
+  for (const Series &S : AllSeries) {
+    std::printf("%-18s", S.Name);
+    for (int C : Cores)
+      std::printf("%7.1f", predictSpeedup(Node,
+                                          Scenario::PrecalculatedFields, S.L,
+                                          Precision::Single, S.Par, C));
+    std::printf("\n");
+  }
+
+  double Eff48 = predictSpeedup(Node, Scenario::PrecalculatedFields,
+                                Layout::AoS, Precision::Single,
+                                Parallelization::DpcppNuma, 48) /
+                 48.0;
+  std::printf("\nDPC++ NUMA 48-core strong-scaling efficiency (model): "
+              "%.0f%% (paper: ~63%%)\n",
+              100.0 * Eff48);
+
+  // Measured on this host: scale over the real core count.
+  minisycl::queue Queue{minisycl::cpu_device()};
+  const int HostCores = int(std::thread::hardware_concurrency());
+  std::printf("\nMeasured on this host (%d hardware threads, %lld "
+              "particles):\n",
+              HostCores, (long long)Sizes.Particles);
+  std::printf("%-18s", "threads (host)");
+  std::vector<int> HostPoints;
+  for (int C = 1; C <= HostCores; C *= 2)
+    HostPoints.push_back(C);
+  if (HostPoints.empty() || HostPoints.back() != HostCores)
+    HostPoints.push_back(HostCores);
+  for (int C : HostPoints)
+    std::printf("%9d", C);
+  std::printf("\n");
+  for (const Series &S : AllSeries) {
+    std::printf("%-18s", S.Name);
+    double Serial = 0;
+    for (int C : HostPoints) {
+      double T = S.L == Layout::AoS
+                     ? measureWithThreads<ParticleArrayAoS<float>>(
+                           S.Par, C, Sizes, Queue)
+                     : measureWithThreads<ParticleArraySoA<float>>(
+                           S.Par, C, Sizes, Queue);
+      if (C == 1)
+        Serial = T;
+      std::printf("%9.2f", Serial / T);
+    }
+    std::printf("\n");
+  }
+  std::printf("(on a single-core container all host speedups are ~1; the "
+              "model column carries the Fig. 1 shape)\n");
+  return 0;
+}

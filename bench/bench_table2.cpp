@@ -1,0 +1,146 @@
+//===-- bench/bench_table2.cpp - Reproduces the paper's Table 2 ----------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 2 of the paper: "Performance results (NSPS,
+/// nanoseconds per particle per step) on CPU for 6 implementations and 2
+/// simulation scenarios" — {AoS, SoA} x {OpenMP, DPC++, DPC++ NUMA} x
+/// {Precalculated, Analytical} x {float, double}.
+///
+/// Three columns per cell: the paper's published value, the calibrated
+/// roofline model of the paper's 2x Xeon 8260L node (the shape
+/// reproduction), and a real measured run on this host at reduced size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchmarkHarness.h"
+
+using namespace hichi;
+using namespace hichi::bench;
+using namespace hichi::perfmodel;
+
+namespace {
+
+struct Row {
+  Layout L;
+  Parallelization Par;
+};
+
+constexpr Row Rows[] = {
+    {Layout::AoS, Parallelization::OpenMP},
+    {Layout::AoS, Parallelization::Dpcpp},
+    {Layout::AoS, Parallelization::DpcppNuma},
+    {Layout::SoA, Parallelization::OpenMP},
+    {Layout::SoA, Parallelization::Dpcpp},
+    {Layout::SoA, Parallelization::DpcppNuma},
+};
+
+/// The paper's Table 2, indexed as [row][scenario][precision].
+constexpr double PaperTable2[6][2][2] = {
+    {{0.53, 0.98}, {0.58, 0.84}}, {{0.78, 1.54}, {1.02, 1.48}},
+    {{0.54, 0.99}, {0.54, 0.89}}, {{0.50, 1.06}, {0.43, 0.76}},
+    {{0.85, 1.49}, {0.77, 1.31}}, {{0.58, 1.20}, {0.60, 0.90}},
+};
+
+RunnerKind kindOf(Parallelization Par) {
+  switch (Par) {
+  case Parallelization::OpenMP:
+    return RunnerKind::OpenMpStyle;
+  case Parallelization::Dpcpp:
+    return RunnerKind::Dpcpp;
+  case Parallelization::DpcppNuma:
+    return RunnerKind::DpcppNuma;
+  }
+  unreachable("bad Parallelization");
+}
+
+template <typename Real>
+double measureCell(Layout L, Parallelization Par, Scenario S,
+                   const BenchSizes &Sizes, minisycl::queue &Queue) {
+  RunnerKind Kind = kindOf(Par);
+  minisycl::queue *Q = Par == Parallelization::OpenMP ? nullptr : &Queue;
+  if (L == Layout::AoS)
+    return measureNsps<ParticleArrayAoS<Real>>(S, Kind, Sizes, Q);
+  return measureNsps<ParticleArraySoA<Real>>(S, Kind, Sizes, Q);
+}
+
+} // namespace
+
+int main() {
+  const BenchSizes Sizes = BenchSizes::fromEnv();
+  const CpuMachine Node = CpuMachine::xeon8260LNode();
+  minisycl::queue Queue{minisycl::cpu_device()};
+
+  std::printf("Table 2 reproduction: NSPS on CPU, 6 implementations x 2 "
+              "scenarios x {float,double}\n");
+  std::printf("paper hardware: %s; measured on this host with %lld "
+              "particles x %d steps x %d iterations\n\n",
+              Node.Name.c_str(), (long long)Sizes.Particles,
+              Sizes.StepsPerIteration, Sizes.Iterations);
+
+  std::printf("%-8s %-12s | %-28s | %-28s\n", "", "",
+              "Precalculated Fields", "Analytical Fields");
+  std::printf("%-8s %-12s | %-9s %-9s %-9s| %-9s %-9s %-9s  (float rows, "
+              "then double)\n",
+              "Pattern", "Parallel", "paper", "model", "host", "paper",
+              "model", "host");
+  printRule(100);
+
+  for (Precision P : {Precision::Single, Precision::Double}) {
+    std::printf("# %s precision\n", toString(P));
+    for (std::size_t R = 0; R < std::size(Rows); ++R) {
+      const Row &Row_ = Rows[R];
+      double Cells[2][3]; // [scenario][paper|model|host]
+      for (int SI = 0; SI < 2; ++SI) {
+        Scenario S = SI == 0 ? Scenario::PrecalculatedFields
+                             : Scenario::AnalyticalFields;
+        Cells[SI][0] =
+            PaperTable2[R][SI][P == Precision::Single ? 0 : 1];
+        Cells[SI][1] =
+            predictCpuNsps(Node, S, Row_.L, P, Row_.Par, Node.coreCount())
+                .Nsps;
+        Cells[SI][2] =
+            P == Precision::Single
+                ? measureCell<float>(Row_.L, Row_.Par, S, Sizes, Queue)
+                : measureCell<double>(Row_.L, Row_.Par, S, Sizes, Queue);
+      }
+      std::printf("%-8s %-12s | %-9.2f %-9.2f %-9.2f| %-9.2f %-9.2f %-9.2f\n",
+                  toString(Row_.L), toString(Row_.Par), Cells[0][0],
+                  Cells[0][1], Cells[0][2], Cells[1][0], Cells[1][1],
+                  Cells[1][2]);
+    }
+  }
+
+  printRule(100);
+  std::printf(
+      "\nShape checks (paper Section 5.3 conclusions, via the model):\n");
+  auto Check = [](bool Ok, const char *What) {
+    std::printf("  [%s] %s\n", Ok ? "ok" : "MISS", What);
+  };
+  double OmpF = predictCpuNsps(Node, Scenario::PrecalculatedFields,
+                               Layout::AoS, Precision::Single,
+                               Parallelization::OpenMP, 48)
+                    .Nsps;
+  double FlatF = predictCpuNsps(Node, Scenario::PrecalculatedFields,
+                                Layout::AoS, Precision::Single,
+                                Parallelization::Dpcpp, 48)
+                     .Nsps;
+  double NumaF = predictCpuNsps(Node, Scenario::PrecalculatedFields,
+                                Layout::AoS, Precision::Single,
+                                Parallelization::DpcppNuma, 48)
+                     .Nsps;
+  double OmpD = predictCpuNsps(Node, Scenario::PrecalculatedFields,
+                               Layout::AoS, Precision::Double,
+                               Parallelization::OpenMP, 48)
+                    .Nsps;
+  Check(FlatF > 1.25 * NumaF,
+        "NUMA policy removes a large penalty (conclusion 1)");
+  Check(NumaF / OmpF < 1.15, "DPC++ NUMA within ~10% of OpenMP "
+                             "(conclusion 2)");
+  Check(std::abs(OmpD / OmpF - 2.0) < 0.2,
+        "double ~ 2x float in Precalculated (conclusion 4)");
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===-- core/Checkpoint.h - Ensemble save/restore ---------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary checkpointing of particle ensembles: long laser-plasma runs
+/// (the paper's production context simulates 1e7 particles for many
+/// thousands of steps) restart from checkpoints as a matter of course.
+///
+/// Format: a fixed 32-byte header {magic, version, scalar size, count}
+/// followed by packed ParticleT records (position, momentum, weight,
+/// gamma, type), independent of the in-memory layout — an SoA ensemble
+/// checkpoints to the same bytes as an AoS one and either can restore
+/// the other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_CORE_CHECKPOINT_H
+#define HICHI_CORE_CHECKPOINT_H
+
+#include "core/ParticleArray.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace hichi {
+
+namespace checkpoint_detail {
+
+inline constexpr std::uint32_t Magic = 0x48434850; // "HCHP"
+inline constexpr std::uint32_t Version = 1;
+
+struct Header {
+  std::uint32_t Magic = checkpoint_detail::Magic;
+  std::uint32_t Version = checkpoint_detail::Version;
+  std::uint32_t ScalarBytes = 0; // 4 or 8
+  std::uint32_t Reserved = 0;
+  std::int64_t Count = 0;
+  std::int64_t Padding = 0;
+};
+static_assert(sizeof(Header) == 32, "checkpoint header must be 32 bytes");
+
+/// One packed record; written scalar by scalar so the file format does
+/// not inherit struct padding.
+template <typename Real> struct PackedParticle {
+  Real Values[8]; // pos xyz, mom xyz, weight, gamma
+  std::int16_t Type;
+};
+
+} // namespace checkpoint_detail
+
+/// Writes \p Particles to \p Path. \returns false on I/O failure.
+template <typename Array>
+bool saveCheckpoint(const Array &Particles, const std::string &Path) {
+  using Real = typename Array::Scalar;
+  using namespace checkpoint_detail;
+
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+
+  Header Head;
+  Head.ScalarBytes = sizeof(Real);
+  Head.Count = Particles.size();
+  bool Ok = std::fwrite(&Head, sizeof(Head), 1, File) == 1;
+
+  auto View = Particles.view();
+  for (Index I = 0; Ok && I < Particles.size(); ++I) {
+    const ParticleT<Real> P = View[I].load();
+    PackedParticle<Real> Packed;
+    Packed.Values[0] = P.Position.X;
+    Packed.Values[1] = P.Position.Y;
+    Packed.Values[2] = P.Position.Z;
+    Packed.Values[3] = P.Momentum.X;
+    Packed.Values[4] = P.Momentum.Y;
+    Packed.Values[5] = P.Momentum.Z;
+    Packed.Values[6] = P.Weight;
+    Packed.Values[7] = P.Gamma;
+    Packed.Type = P.Type;
+    Ok = std::fwrite(Packed.Values, sizeof(Real), 8, File) == 8 &&
+         std::fwrite(&Packed.Type, sizeof(std::int16_t), 1, File) == 1;
+  }
+  std::fclose(File);
+  return Ok;
+}
+
+/// Loads a checkpoint into \p Particles (cleared first; capacity must
+/// suffice, and the file's scalar width must match Array::Scalar).
+/// \returns false on I/O failure, wrong magic/version/width, or
+/// insufficient capacity.
+template <typename Array>
+bool loadCheckpoint(Array &Particles, const std::string &Path) {
+  using Real = typename Array::Scalar;
+  using namespace checkpoint_detail;
+
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+
+  Header Head;
+  bool Ok = std::fread(&Head, sizeof(Head), 1, File) == 1 &&
+            Head.Magic == Magic && Head.Version == Version &&
+            Head.ScalarBytes == sizeof(Real) &&
+            Head.Count <= Particles.capacity();
+  if (Ok) {
+    Particles.clear();
+    for (Index I = 0; Ok && I < Head.Count; ++I) {
+      PackedParticle<Real> Packed;
+      Ok = std::fread(Packed.Values, sizeof(Real), 8, File) == 8 &&
+           std::fread(&Packed.Type, sizeof(std::int16_t), 1, File) == 1;
+      if (!Ok)
+        break;
+      ParticleT<Real> P;
+      P.Position = {Packed.Values[0], Packed.Values[1], Packed.Values[2]};
+      P.Momentum = {Packed.Values[3], Packed.Values[4], Packed.Values[5]};
+      P.Weight = Packed.Values[6];
+      P.Gamma = Packed.Values[7];
+      P.Type = short(Packed.Type);
+      Particles.pushBack(P);
+    }
+  }
+  std::fclose(File);
+  return Ok;
+}
+
+} // namespace hichi
+
+#endif // HICHI_CORE_CHECKPOINT_H

@@ -1,0 +1,29 @@
+//===-- core/Core.h - Umbrella header for the core library -----*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the particle/pusher core: include this to get
+/// particles, ensembles (AoS/SoA), the Boris/Vay/Higuera-Cary pushers and
+/// the execution strategies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_CORE_CORE_H
+#define HICHI_CORE_CORE_H
+
+#include "core/BatchPusher.h"
+#include "core/BorisPusher.h"
+#include "core/Checkpoint.h"
+#include "core/EnsembleInit.h"
+#include "core/EnsembleOps.h"
+#include "core/FieldSample.h"
+#include "core/Particle.h"
+#include "core/ParticleArray.h"
+#include "core/ParticleTypes.h"
+#include "core/PusherRunner.h"
+#include "core/Trajectory.h"
+
+#endif // HICHI_CORE_CORE_H

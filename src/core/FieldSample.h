@@ -1,0 +1,49 @@
+//===-- core/FieldSample.h - E/B field sample -------------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The electromagnetic field value a pusher consumes for one particle: the
+/// interpolated/evaluated (E, B) pair at the particle's position.
+///
+/// Field *sources* (the two benchmark scenarios of Section 5.2, plus grid
+/// interpolation in the PIC substrate) are any trivially copyable callable
+/// with the signature
+///
+/// \code
+///   FieldSample<Real> operator()(const Vector3<Real> &Position, Real Time,
+///                                Index ParticleIndex) const;
+/// \endcode
+///
+/// Analytical sources use Position/Time and ignore the index; the
+/// precalculated source indexes its USM array and ignores the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_CORE_FIELDSAMPLE_H
+#define HICHI_CORE_FIELDSAMPLE_H
+
+#include "support/Vector3.h"
+
+namespace hichi {
+
+/// One (E, B) sample.
+template <typename Real> struct FieldSample {
+  Vector3<Real> E;
+  Vector3<Real> B;
+};
+
+/// A spatially uniform, static field source (tests, simple examples).
+template <typename Real> struct UniformFieldSource {
+  FieldSample<Real> Value;
+
+  FieldSample<Real> operator()(const Vector3<Real> &, Real, Index) const {
+    return Value;
+  }
+};
+
+} // namespace hichi
+
+#endif // HICHI_CORE_FIELDSAMPLE_H

@@ -1,0 +1,78 @@
+//===-- core/Particle.h - The Particle record -------------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Particle record of the paper (Section 3):
+///
+/// \code
+///   Class Particle {
+///       FP3 position;  FP3 momentum;  FP weight;  FP gamma;  Short type;
+///   };
+/// \endcode
+///
+/// sizeof is 36 bytes in single precision (34 data + alignment) and
+/// 72 bytes in double (66 + alignment), which static_asserts below pin
+/// down because the byte accounting of the performance model depends on
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_CORE_PARTICLE_H
+#define HICHI_CORE_PARTICLE_H
+
+#include "core/ParticleTypes.h"
+#include "support/Vector3.h"
+
+#include <cmath>
+
+namespace hichi {
+
+/// One macroparticle: classical state (position, momentum), statistical
+/// weight (how many real particles the macroparticle represents), cached
+/// Lorentz factor, and species index.
+template <typename Real> struct ParticleT {
+  Vector3<Real> Position;
+  Vector3<Real> Momentum;
+  Real Weight = Real(1);
+  Real Gamma = Real(1);
+  short Type = PS_Electron;
+};
+
+static_assert(sizeof(ParticleT<float>) == 36,
+              "single-precision Particle must be 36 bytes (paper Section 3)");
+static_assert(sizeof(ParticleT<double>) == 72,
+              "double-precision Particle must be 72 bytes (paper Section 3)");
+
+/// The paper's default-precision Particle.
+using Particle = ParticleT<FP>;
+
+/// \returns the Lorentz factor gamma = sqrt(1 + |p|^2 / (m c)^2) of a
+/// particle with momentum \p Momentum and mass \p Mass.
+template <typename Real>
+HICHI_ALWAYS_INLINE Real lorentzGamma(const Vector3<Real> &Momentum, Real Mass,
+                                      Real LightVelocity) {
+  Real Mc = Mass * LightVelocity;
+  return std::sqrt(Real(1) + Momentum.norm2() / (Mc * Mc));
+}
+
+/// \returns the velocity v = p / (gamma m) of a particle.
+template <typename Real>
+HICHI_ALWAYS_INLINE Vector3<Real> velocityOf(const Vector3<Real> &Momentum,
+                                             Real Gamma, Real Mass) {
+  return Momentum / (Gamma * Mass);
+}
+
+/// \returns the kinetic energy (gamma - 1) m c^2 of a particle.
+template <typename Real>
+Real kineticEnergy(const Vector3<Real> &Momentum, Real Mass,
+                   Real LightVelocity) {
+  Real Gamma = lorentzGamma(Momentum, Mass, LightVelocity);
+  return (Gamma - Real(1)) * Mass * LightVelocity * LightVelocity;
+}
+
+} // namespace hichi
+
+#endif // HICHI_CORE_PARTICLE_H

@@ -1,0 +1,96 @@
+//===-- core/ParticleTypes.h - Particle species table -----------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The particle species table. The paper (Section 3) stores "an integer
+/// value of the particle type to determine its mass and charge. These
+/// parameters ... are stored in a separate table in a single copy". The
+/// table is a small USM-friendly array of {Mass, Charge} records indexed
+/// by the particle's Type field; kernels capture the raw pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_CORE_PARTICLETYPES_H
+#define HICHI_CORE_PARTICLETYPES_H
+
+#include "support/Constants.h"
+#include "support/Config.h"
+
+#include <array>
+#include <cassert>
+
+namespace hichi {
+
+/// Mass and charge of one particle species (CGS or user units).
+template <typename Real> struct ParticleTypeInfo {
+  Real Mass = Real(1);
+  Real Charge = Real(-1);
+};
+
+/// Enumerators for the built-in species (indices into the table).
+enum ParticleSpecies : short {
+  PS_Electron = 0,
+  PS_Positron = 1,
+  PS_Proton = 2,
+  PS_BuiltinCount = 3,
+};
+
+/// The species table. Fixed small capacity so the whole table is one
+/// trivially-copyable object a kernel can capture, or whose .data() can be
+/// put in USM.
+template <typename Real> class ParticleTypeTable {
+public:
+  static constexpr int Capacity = 8;
+
+  /// Physical species in CGS-Gaussian units (the paper's unit system).
+  static ParticleTypeTable cgs() {
+    ParticleTypeTable T;
+    T.Types[PS_Electron] = {Real(constants::ElectronMass),
+                            Real(-constants::ElementaryCharge)};
+    T.Types[PS_Positron] = {Real(constants::ElectronMass),
+                            Real(constants::ElementaryCharge)};
+    T.Types[PS_Proton] = {Real(constants::ProtonMass),
+                          Real(constants::ElementaryCharge)};
+    T.Count = PS_BuiltinCount;
+    return T;
+  }
+
+  /// Dimensionless species (m = 1, |q| = 1) for unit tests run with c = 1.
+  static ParticleTypeTable natural() {
+    ParticleTypeTable T;
+    T.Types[PS_Electron] = {Real(1), Real(-1)};
+    T.Types[PS_Positron] = {Real(1), Real(1)};
+    T.Types[PS_Proton] = {Real(1836.15267343), Real(1)};
+    T.Count = PS_BuiltinCount;
+    return T;
+  }
+
+  /// Registers a new species; \returns its type index.
+  short addSpecies(Real Mass, Real Charge) {
+    assert(Count < Capacity && "species table full");
+    Types[std::size_t(Count)] = {Mass, Charge};
+    return Count++;
+  }
+
+  const ParticleTypeInfo<Real> &operator[](short Type) const {
+    assert(Type >= 0 && Type < Count && "unknown particle type");
+    return Types[std::size_t(Type)];
+  }
+
+  short count() const { return Count; }
+
+  /// Raw table pointer for kernel capture (the "single copy" of the
+  /// paper; with USM the host copy is directly visible to the device).
+  const ParticleTypeInfo<Real> *data() const { return Types.data(); }
+
+private:
+  std::array<ParticleTypeInfo<Real>, Capacity> Types{};
+  short Count = 0;
+};
+
+} // namespace hichi
+
+#endif // HICHI_CORE_PARTICLETYPES_H

@@ -1,0 +1,87 @@
+//===-- core/RadiationReaction.h - Radiative losses -------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classical radiation reaction via the (dominant term of the)
+/// Landau-Lifshitz force, layered on top of any base pusher. This is the
+/// strong-field extension Hi-Chi exists for: the paper's benchmark sits
+/// deliberately in the 4 GW - 1 PW window where "radiative trapping
+/// effects are absent" (Section 5.2, citing Ref. [25], Gonoskov et al.,
+/// "Anomalous radiative trapping in laser fields of extreme intensity");
+/// at higher powers this term flips the escape dynamics, which the
+/// radiative_trapping example demonstrates.
+///
+/// Model: after the base (Lorentz-force) update, subtract the radiated
+/// momentum. The instantaneous radiated power of a classical electron is
+///
+///   P = (2/3) (q^4 / m^2 c^3) gamma^2 [ (E + beta x B)^2 - (beta . E)^2 ]
+///
+/// and the emitted photons carry momentum P dt / c along the velocity
+/// (exact in the ultrarelativistic limit where emission is beamed into
+/// the 1/gamma cone; for gamma ~ 1 radiative losses are negligible
+/// anyway, so the approximation is uniformly adequate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_CORE_RADIATIONREACTION_H
+#define HICHI_CORE_RADIATIONREACTION_H
+
+#include "core/BorisPusher.h"
+
+namespace hichi {
+
+/// Instantaneous classical radiated power of a particle with momentum
+/// \p Momentum, species \p Info, in fields \p F (Gaussian units).
+template <typename Real>
+HICHI_ALWAYS_INLINE Real
+radiatedPower(const Vector3<Real> &Momentum, const ParticleTypeInfo<Real> &Info,
+              const FieldSample<Real> &F, Real C) {
+  const Real Mc = Info.Mass * C;
+  const Real Gamma = std::sqrt(Real(1) + Momentum.norm2() / (Mc * Mc));
+  const Vector3<Real> Beta = Momentum / (Gamma * Mc);
+  const Vector3<Real> Transverse = F.E + cross(Beta, F.B);
+  const Real BetaDotE = dot(Beta, F.E);
+  const Real FieldTerm = Transverse.norm2() - BetaDotE * BetaDotE;
+  if (FieldTerm <= Real(0))
+    return Real(0); // e.g. motion exactly along E
+  const Real Q2 = Info.Charge * Info.Charge;
+  return Real(2) / Real(3) * Q2 * Q2 /
+         (Info.Mass * Info.Mass * C * C * C) * Gamma * Gamma * FieldTerm;
+}
+
+/// A pusher adaptor: base scheme plus Landau-Lifshitz radiative losses.
+template <typename BasePusher = BorisPusher> struct RadiationReactionPusher {
+  template <typename Real, typename Proxy>
+  HICHI_ALWAYS_INLINE static void push(const Proxy &P,
+                                       const FieldSample<Real> &F,
+                                       const ParticleTypeInfo<Real> *Types,
+                                       Real Dt, Real C) {
+    BasePusher::template push<Real>(P, F, Types, Dt, C);
+
+    const ParticleTypeInfo<Real> &Info = Types[P.type()];
+    const Vector3<Real> Momentum = P.momentum();
+    const Real Power = radiatedPower(Momentum, Info, F, C);
+    if (Power <= Real(0))
+      return;
+
+    // Photon momentum P dt / c along the velocity; never overdraw the
+    // particle's momentum (sub-cycle-stiff emission saturates at rest).
+    const Real PNorm = Momentum.norm();
+    if (PNorm == Real(0))
+      return;
+    Real Loss = Power * Dt / C;
+    if (Loss > PNorm)
+      Loss = PNorm;
+    const Vector3<Real> NewMomentum = Momentum * ((PNorm - Loss) / PNorm);
+    P.setMomentum(NewMomentum);
+    const Real Mc = Info.Mass * C;
+    P.setGamma(std::sqrt(Real(1) + NewMomentum.norm2() / (Mc * Mc)));
+  }
+};
+
+} // namespace hichi
+
+#endif // HICHI_CORE_RADIATIONREACTION_H

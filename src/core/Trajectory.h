@@ -1,0 +1,130 @@
+//===-- core/Trajectory.h - Orbit recording and analysis --------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trajectory recording for selected particles and the small analyses
+/// the validation suite performs on orbits: closure error (did a gyro
+/// orbit return?), mean drift velocity, and bounding box. Production
+/// laser-plasma studies track tracer particles exactly this way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_CORE_TRAJECTORY_H
+#define HICHI_CORE_TRAJECTORY_H
+
+#include "core/Particle.h"
+
+#include <cassert>
+#include <vector>
+
+namespace hichi {
+
+/// One recorded trajectory: time-stamped states of one particle.
+template <typename Real> class Trajectory {
+public:
+  struct Sample {
+    Real Time;
+    Vector3<Real> Position;
+    Vector3<Real> Momentum;
+    Real Gamma;
+  };
+
+  void record(Real Time, const Vector3<Real> &Position,
+              const Vector3<Real> &Momentum, Real Gamma) {
+    Samples.push_back({Time, Position, Momentum, Gamma});
+  }
+
+  /// Records straight from a proxy.
+  template <typename Proxy> void record(Real Time, const Proxy &P) {
+    record(Time, P.position(), P.momentum(), P.gamma());
+  }
+
+  std::size_t size() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+  const Sample &operator[](std::size_t I) const {
+    assert(I < Samples.size() && "sample index out of range");
+    return Samples[I];
+  }
+  const std::vector<Sample> &samples() const { return Samples; }
+
+  /// Distance between the first and last recorded positions (orbit
+  /// closure diagnostic).
+  Real closureError() const {
+    assert(!Samples.empty() && "closure of empty trajectory");
+    return (Samples.back().Position - Samples.front().Position).norm();
+  }
+
+  /// Mean velocity over the record: net displacement / elapsed time
+  /// (the guiding-center drift for gyro orbits).
+  Vector3<Real> meanVelocity() const {
+    assert(Samples.size() >= 2 && "meanVelocity needs two samples");
+    const Real Elapsed = Samples.back().Time - Samples.front().Time;
+    assert(Elapsed > Real(0) && "non-increasing trajectory time");
+    return (Samples.back().Position - Samples.front().Position) / Elapsed;
+  }
+
+  /// Tight axis-aligned bounding box of the recorded positions.
+  void boundingBox(Vector3<Real> &Lo, Vector3<Real> &Hi) const {
+    assert(!Samples.empty() && "bounding box of empty trajectory");
+    Lo = Hi = Samples.front().Position;
+    for (const Sample &S : Samples) {
+      Lo = min(Lo, S.Position);
+      Hi = max(Hi, S.Position);
+    }
+  }
+
+  /// Maximum gamma along the orbit.
+  Real maxGamma() const {
+    Real Max = Real(1);
+    for (const Sample &S : Samples)
+      Max = S.Gamma > Max ? S.Gamma : Max;
+    return Max;
+  }
+
+  /// Path length of the recorded polyline.
+  Real pathLength() const {
+    Real Length = 0;
+    for (std::size_t I = 1; I < Samples.size(); ++I)
+      Length += (Samples[I].Position - Samples[I - 1].Position).norm();
+    return Length;
+  }
+
+private:
+  std::vector<Sample> Samples;
+};
+
+/// Records the orbits of a fixed subset of an ensemble: call sample()
+/// after every pushed step (or every K steps).
+template <typename Real> class TrajectoryRecorder {
+public:
+  /// Tracks the particles at the given ensemble indices.
+  explicit TrajectoryRecorder(std::vector<Index> TrackedIndices)
+      : Tracked(std::move(TrackedIndices)),
+        Trajectories(Tracked.size()) {}
+
+  std::size_t trackedCount() const { return Tracked.size(); }
+
+  template <typename Array> void sample(const Array &Particles, Real Time) {
+    auto View = Particles.view();
+    for (std::size_t T = 0; T < Tracked.size(); ++T) {
+      assert(Tracked[T] < Particles.size() && "tracked index out of range");
+      Trajectories[T].record(Time, View[Tracked[T]]);
+    }
+  }
+
+  const Trajectory<Real> &trajectory(std::size_t T) const {
+    assert(T < Trajectories.size() && "trajectory index out of range");
+    return Trajectories[T];
+  }
+
+private:
+  std::vector<Index> Tracked;
+  std::vector<Trajectory<Real>> Trajectories;
+};
+
+} // namespace hichi
+
+#endif // HICHI_CORE_TRAJECTORY_H

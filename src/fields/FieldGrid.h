@@ -1,0 +1,148 @@
+//===-- fields/FieldGrid.h - Gridded fields + interpolation ----*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A collocated 3-D field grid with trilinear (CIC) interpolation — the
+/// general form of "grid field data" in the PIC method (Section 2): "each
+/// particle interacts with a set of nearby grid values of the
+/// electromagnetic field, depending on the form factor."
+///
+/// This grid stores E and B at cell nodes; the staggered Yee grid used by
+/// the FDTD solver lives in pic/YeeGrid.h. Interpolation is periodic in
+/// all directions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_FIELDS_FIELDGRID_H
+#define HICHI_FIELDS_FIELDGRID_H
+
+#include "core/FieldSample.h"
+#include "minisycl/minisycl.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace hichi {
+
+/// Integer grid extents.
+struct GridSize {
+  Index Nx = 0, Ny = 0, Nz = 0;
+  Index count() const { return Nx * Ny * Nz; }
+};
+
+/// Trivially copyable interpolating view over a node-centered field grid.
+template <typename Real> struct GridFieldSource {
+  const FieldSample<Real> *Nodes = nullptr;
+  GridSize Size;
+  Vector3<Real> Origin;
+  Vector3<Real> InvStep; ///< 1 / cell step per axis
+
+  /// Periodic node index.
+  static Index wrap(Index I, Index N) {
+    I %= N;
+    return I < 0 ? I + N : I;
+  }
+
+  Index linear(Index I, Index J, Index K) const {
+    return (wrap(I, Size.Nx) * Size.Ny + wrap(J, Size.Ny)) * Size.Nz +
+           wrap(K, Size.Nz);
+  }
+
+  /// Trilinear interpolation of both E and B at \p Pos.
+  FieldSample<Real> operator()(const Vector3<Real> &Pos, Real /*Time*/,
+                               Index /*ParticleIndex*/) const {
+    const Real Fx = (Pos.X - Origin.X) * InvStep.X;
+    const Real Fy = (Pos.Y - Origin.Y) * InvStep.Y;
+    const Real Fz = (Pos.Z - Origin.Z) * InvStep.Z;
+    const Real Ix = std::floor(Fx), Iy = std::floor(Fy), Iz = std::floor(Fz);
+    const Real Wx = Fx - Ix, Wy = Fy - Iy, Wz = Fz - Iz;
+    const Index I = Index(Ix), J = Index(Iy), K = Index(Iz);
+
+    FieldSample<Real> Out;
+    Vector3<Real> E = Vector3<Real>::zero();
+    Vector3<Real> B = Vector3<Real>::zero();
+    for (int DI = 0; DI <= 1; ++DI)
+      for (int DJ = 0; DJ <= 1; ++DJ)
+        for (int DK = 0; DK <= 1; ++DK) {
+          const Real W = (DI ? Wx : Real(1) - Wx) * (DJ ? Wy : Real(1) - Wy) *
+                         (DK ? Wz : Real(1) - Wz);
+          const FieldSample<Real> &S = Nodes[linear(I + DI, J + DJ, K + DK)];
+          E += S.E * W;
+          B += S.B * W;
+        }
+    Out.E = E;
+    Out.B = B;
+    return Out;
+  }
+};
+
+/// Owning node-centered (E, B) grid in USM.
+template <typename Real> class FieldGrid {
+public:
+  FieldGrid(GridSize Size, Vector3<Real> Origin, Vector3<Real> Step,
+            minisycl::device Dev = minisycl::cpu_device())
+      : Size(Size), Origin(Origin), Step(Step) {
+    assert(Size.Nx > 0 && Size.Ny > 0 && Size.Nz > 0 && "degenerate grid");
+    Nodes = minisycl::malloc_shared<FieldSample<Real>>(
+        std::size_t(Size.count()), Dev);
+    for (Index I = 0, E = Size.count(); I < E; ++I)
+      Nodes[I] = FieldSample<Real>{};
+  }
+
+  ~FieldGrid() { minisycl::free(Nodes); }
+
+  FieldGrid(const FieldGrid &) = delete;
+  FieldGrid &operator=(const FieldGrid &) = delete;
+  FieldGrid(FieldGrid &&Other) noexcept
+      : Size(Other.Size), Origin(Other.Origin), Step(Other.Step) {
+    std::swap(Nodes, Other.Nodes);
+  }
+
+  GridSize size() const { return Size; }
+  Vector3<Real> origin() const { return Origin; }
+  Vector3<Real> step() const { return Step; }
+
+  FieldSample<Real> &at(Index I, Index J, Index K) {
+    assert(I >= 0 && I < Size.Nx && J >= 0 && J < Size.Ny && K >= 0 &&
+           K < Size.Nz && "grid index out of range");
+    return Nodes[(I * Size.Ny + J) * Size.Nz + K];
+  }
+  const FieldSample<Real> &at(Index I, Index J, Index K) const {
+    return const_cast<FieldGrid *>(this)->at(I, J, K);
+  }
+
+  /// Position of node (I, J, K).
+  Vector3<Real> nodePosition(Index I, Index J, Index K) const {
+    return Origin + Vector3<Real>(Real(I) * Step.X, Real(J) * Step.Y,
+                                  Real(K) * Step.Z);
+  }
+
+  /// Samples an analytic source onto every node at time \p Time.
+  template <typename AnalyticSource>
+  void fillFrom(const AnalyticSource &Source, Real Time) {
+    for (Index I = 0; I < Size.Nx; ++I)
+      for (Index J = 0; J < Size.Ny; ++J)
+        for (Index K = 0; K < Size.Nz; ++K)
+          at(I, J, K) = Source(nodePosition(I, J, K), Time, 0);
+  }
+
+  GridFieldSource<Real> source() const {
+    return GridFieldSource<Real>{
+        Nodes, Size, Origin,
+        Vector3<Real>(Real(1) / Step.X, Real(1) / Step.Y, Real(1) / Step.Z)};
+  }
+
+private:
+  GridSize Size;
+  Vector3<Real> Origin;
+  Vector3<Real> Step;
+  FieldSample<Real> *Nodes = nullptr;
+};
+
+} // namespace hichi
+
+#endif // HICHI_FIELDS_FIELDGRID_H

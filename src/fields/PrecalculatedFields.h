@@ -1,0 +1,101 @@
+//===-- fields/PrecalculatedFields.h - Stored field scenario ---*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 'Precalculated Fields' benchmark scenario (Section 5.2): "all field
+/// values are precalculated and stored in the corresponding array. This
+/// scenario allows excluding all operations from measurements except for
+/// particle motion." One (E, B) sample is stored per particle in USM; the
+/// source functor simply indexes it, so the per-step cost is pure memory
+/// traffic — which is what makes this scenario the memory-bound pole of
+/// the evaluation (the field array is "comparable in size to the ensemble
+/// of particles", Section 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_FIELDS_PRECALCULATEDFIELDS_H
+#define HICHI_FIELDS_PRECALCULATEDFIELDS_H
+
+#include "core/FieldSample.h"
+#include "minisycl/minisycl.h"
+#include "threading/ParallelFor.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hichi {
+
+/// Trivially copyable view the kernels capture.
+template <typename Real> struct PrecalculatedFieldSource {
+  const FieldSample<Real> *Samples = nullptr;
+  Index Count = 0;
+
+  FieldSample<Real> operator()(const Vector3<Real> &, Real,
+                               Index ParticleIndex) const {
+    assert(ParticleIndex >= 0 && ParticleIndex < Count &&
+           "field sample index out of range");
+    return Samples[ParticleIndex];
+  }
+};
+
+/// Owning storage for one field sample per particle.
+template <typename Real> class PrecalculatedFields {
+public:
+  explicit PrecalculatedFields(Index Count,
+                               minisycl::device Dev = minisycl::cpu_device())
+      : Count(Count) {
+    assert(Count >= 0 && "negative sample count");
+    Samples =
+        minisycl::malloc_shared<FieldSample<Real>>(std::size_t(Count), Dev);
+  }
+
+  ~PrecalculatedFields() { minisycl::free(Samples); }
+
+  PrecalculatedFields(const PrecalculatedFields &) = delete;
+  PrecalculatedFields &operator=(const PrecalculatedFields &) = delete;
+  PrecalculatedFields(PrecalculatedFields &&Other) noexcept {
+    std::swap(Samples, Other.Samples);
+    std::swap(Count, Other.Count);
+  }
+
+  Index size() const { return Count; }
+
+  FieldSample<Real> &operator[](Index I) {
+    assert(I >= 0 && I < Count && "sample index out of range");
+    return Samples[I];
+  }
+  const FieldSample<Real> &operator[](Index I) const {
+    assert(I >= 0 && I < Count && "sample index out of range");
+    return Samples[I];
+  }
+
+  PrecalculatedFieldSource<Real> source() const {
+    return PrecalculatedFieldSource<Real>{Samples, Count};
+  }
+
+  /// Fills the table by sampling \p Analytic at each particle position of
+  /// \p Particles at time \p Time — how the benchmark materializes the
+  /// scenario from the same dipole wave the analytical scenario computes
+  /// on the fly.
+  template <typename Array, typename AnalyticSource>
+  void precompute(const Array &Particles, const AnalyticSource &Analytic,
+                  Real Time) {
+    assert(Particles.size() == Count && "particle/sample count mismatch");
+    auto View = Particles.view();
+    FieldSample<Real> *Out = Samples;
+    threading::staticParallelFor(0, Count, [&](Index I) {
+      Out[I] = Analytic(View[I].position(), Time, I);
+    });
+  }
+
+private:
+  FieldSample<Real> *Samples = nullptr;
+  Index Count = 0;
+};
+
+} // namespace hichi
+
+#endif // HICHI_FIELDS_PRECALCULATEDFIELDS_H

@@ -1,0 +1,92 @@
+//===-- gpusim/GpuDeviceModel.cpp - Simulated GPU device model -----------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GpuDeviceModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hichi;
+using namespace hichi::gpusim;
+
+GpuParameters GpuParameters::p630() {
+  GpuParameters P;
+  P.Name = "Intel(R) UHD Graphics P630 (simulated)";
+  P.ExecutionUnits = 24;
+  P.BaseClockGHz = 0.35;
+  P.BoostClockGHz = 1.15;
+  P.PeakFlopsSingle = 0.441e12; // Table 1
+  P.MemoryBytes = 32.0 * (1ull << 30); // shares host DDR4 (Table 1: 32 GB)
+  // Dual-channel DDR4-2666 raw is 42.6 GB/s; an iGPU reading through the
+  // LLC achieves close to raw on pure streams.
+  P.BandwidthBytesPerSec = 42.6e9;
+  P.CoalescedEfficiency = 0.95;
+  // Gen9 memory transactions are 64B; a 36B-strided AoS float particle
+  // touches ~2 lines per field group -> slightly under half efficiency.
+  P.StridedEfficiency = 0.45;
+  P.LaunchOverheadNs = 12000;
+  P.JitFirstLaunchNs = 150e6;
+  P.NativeDoubleSupport = true;
+  P.DoubleEmulationSlowdown = 1.0;
+  return P;
+}
+
+GpuParameters GpuParameters::irisXeMax() {
+  GpuParameters P;
+  P.Name = "Intel(R) Iris(R) Xe MAX (simulated)";
+  P.ExecutionUnits = 96;
+  P.BaseClockGHz = 0.3;
+  P.BoostClockGHz = 1.65;
+  P.PeakFlopsSingle = 2.5e12;          // Table 1
+  P.MemoryBytes = 4.0 * (1ull << 30);  // Table 1: 4 GB LPDDR4X
+  P.BandwidthBytesPerSec = 68.0e9;     // 128-bit LPDDR4X-4266
+  P.CoalescedEfficiency = 0.95;
+  // Xe-LP's wider transactions recover more of a strided stream than Gen9.
+  P.StridedEfficiency = 0.62;
+  P.LaunchOverheadNs = 10000;
+  P.JitFirstLaunchNs = 150e6;
+  // "for the Iris Xe Max, double precision operations occur only in an
+  // emulation mode" (Section 5.3) — the paper therefore reports only
+  // single precision on GPUs.
+  P.NativeDoubleSupport = false;
+  P.DoubleEmulationSlowdown = 8.0;
+  return P;
+}
+
+double gpusim::modelKernelTimeNs(const GpuParameters &Device,
+                                 const KernelProfile &Profile, Index WorkItems,
+                                 bool FirstLaunch) {
+  assert(WorkItems >= 0 && "negative work-item count");
+  const double N = double(WorkItems);
+
+  // Memory leg: strided bytes see the reduced efficiency.
+  double EffectiveBytes =
+      Profile.StreamedBytesPerItem / Device.CoalescedEfficiency +
+      Profile.StridedBytesPerItem / Device.StridedEfficiency;
+  double MemoryNs = EffectiveBytes * N / Device.BandwidthBytesPerSec * 1e9;
+
+  // Compute leg: peak flops, derated for emulated doubles.
+  double Peak = Device.PeakFlopsSingle;
+  if (Profile.DoublePrecision) {
+    Peak *= 0.5; // FP64 rate is at most half FP32 even when native.
+    if (!Device.NativeDoubleSupport)
+      Peak /= Device.DoubleEmulationSlowdown;
+  }
+  double ComputeNs = Profile.FlopsPerItem * N / Peak * 1e9;
+
+  double Time = Device.LaunchOverheadNs + std::max(MemoryNs, ComputeNs);
+  if (FirstLaunch)
+    Time += Device.JitFirstLaunchNs;
+  return Time;
+}
+
+double gpusim::modelNsPerItem(const GpuParameters &Device,
+                              const KernelProfile &Profile, Index WorkItems) {
+  if (WorkItems <= 0)
+    return 0.0;
+  return modelKernelTimeNs(Device, Profile, WorkItems, /*FirstLaunch=*/false) /
+         double(WorkItems);
+}

@@ -1,0 +1,119 @@
+//===-- minisycl/buffer.h - Buffers and accessors ---------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The buffer/accessor memory model — the *other* DPC++ memory management
+/// option the paper describes and decides against ("The first method
+/// involves the use of special concepts - buffers ... and accessors",
+/// Section 4.2). It is provided for API completeness and exercised by
+/// tests and one example; the pusher itself uses USM, like the paper.
+///
+/// Buffers own host storage; accessors hand out pointers. With a single
+/// shared-memory "device" there is no copy-in/copy-out, which is also the
+/// behaviour of DPC++ buffers on a host device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_MINISYCL_BUFFER_H
+#define HICHI_MINISYCL_BUFFER_H
+
+#include "minisycl/range.h"
+#include "support/AlignedAllocator.h"
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace minisycl {
+
+class handler;
+
+namespace access_mode {
+struct read {};
+struct write {};
+struct read_write {};
+} // namespace access_mode
+
+template <typename T, int Dims = 1> class buffer;
+
+/// Device/host accessor over a buffer's storage.
+template <typename T, int Dims = 1, typename Mode = access_mode::read_write>
+class accessor {
+public:
+  explicit accessor(buffer<T, Dims> &Buf) : Data(Buf.data()), Extent(Buf.get_range()) {}
+
+  std::size_t size() const { return Extent.size(); }
+  range<Dims> get_range() const { return Extent; }
+
+  T &operator[](std::size_t I) const
+    requires(Dims == 1 && !std::is_same_v<Mode, access_mode::read>)
+  {
+    assert(I < Extent.size() && "accessor index out of range");
+    return Data[I];
+  }
+  const T &operator[](std::size_t I) const
+    requires(Dims == 1 && std::is_same_v<Mode, access_mode::read>)
+  {
+    assert(I < Extent.size() && "accessor index out of range");
+    return Data[I];
+  }
+
+  T &operator[](id<Dims> I) const
+    requires(!std::is_same_v<Mode, access_mode::read>)
+  {
+    return Data[I.linearize(Extent)];
+  }
+  const T &operator[](id<Dims> I) const
+    requires(std::is_same_v<Mode, access_mode::read>)
+  {
+    return Data[I.linearize(Extent)];
+  }
+
+  T *get_pointer() const { return Data; }
+
+private:
+  T *Data;
+  range<Dims> Extent;
+};
+
+/// A Dims-dimensional array of T owned by the runtime.
+template <typename T, int Dims> class buffer {
+public:
+  explicit buffer(range<Dims> Extent)
+      : Extent(Extent), Storage(Extent.size()) {}
+
+  /// Copy-in constructor from host data (SYCL's pointer constructor).
+  buffer(const T *Host, range<Dims> Extent)
+      : Extent(Extent), Storage(Extent.size()) {
+    std::memcpy(Storage.data(), Host, Extent.size() * sizeof(T));
+  }
+
+  range<Dims> get_range() const { return Extent; }
+  std::size_t size() const { return Extent.size(); }
+  T *data() { return Storage.data(); }
+
+  /// Device accessor (the handler argument orders the dependency in real
+  /// SYCL; execution is eager here so it is tag-only).
+  template <typename Mode = access_mode::read_write>
+  accessor<T, Dims, Mode> get_access(handler &) {
+    return accessor<T, Dims, Mode>(*this);
+  }
+
+  /// Host accessor.
+  template <typename Mode = access_mode::read_write>
+  accessor<T, Dims, Mode> get_host_access() {
+    return accessor<T, Dims, Mode>(*this);
+  }
+
+private:
+  range<Dims> Extent;
+  std::vector<T, hichi::AlignedAllocator<T>> Storage;
+};
+
+} // namespace minisycl
+
+#endif // HICHI_MINISYCL_BUFFER_H

@@ -1,0 +1,106 @@
+//===-- minisycl/device.cpp - Devices and platforms ----------------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minisycl/device.h"
+
+#include "support/EnvVar.h"
+#include "support/Logging.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace minisycl;
+
+struct device::DeviceImpl {
+  bool IsCpu = true;
+  std::string Name;
+  hichi::CpuTopology Topology{1, 1};
+  hichi::gpusim::GpuParameters Gpu{};
+};
+
+static std::shared_ptr<const device::DeviceImpl> makeCpuImpl() {
+  auto Impl = std::make_shared<device::DeviceImpl>();
+  Impl->IsCpu = true;
+  Impl->Topology = hichi::CpuTopology::detect();
+  char Buffer[128];
+  std::snprintf(Buffer, sizeof(Buffer), "Host CPU (%dx%d cores)",
+                Impl->Topology.domainCount(),
+                Impl->Topology.coresPerDomain());
+  Impl->Name = Buffer;
+  return Impl;
+}
+
+static std::shared_ptr<const device::DeviceImpl>
+makeGpuImpl(hichi::gpusim::GpuParameters Params) {
+  auto Impl = std::make_shared<device::DeviceImpl>();
+  Impl->IsCpu = false;
+  Impl->Gpu = std::move(Params);
+  Impl->Name = Impl->Gpu.Name;
+  return Impl;
+}
+
+static const std::shared_ptr<const device::DeviceImpl> &cpuImplSingleton() {
+  static auto Impl = makeCpuImpl();
+  return Impl;
+}
+
+device::device() : Impl(cpuImplSingleton()) {}
+
+device minisycl::cpu_device() { return device(cpuImplSingleton()); }
+
+device minisycl::gpu_device_p630() {
+  static auto Impl = makeGpuImpl(hichi::gpusim::GpuParameters::p630());
+  return device(Impl);
+}
+
+device minisycl::gpu_device_iris_xe_max() {
+  static auto Impl = makeGpuImpl(hichi::gpusim::GpuParameters::irisXeMax());
+  return device(Impl);
+}
+
+device minisycl::default_device() {
+  if (auto Choice = hichi::getEnvString("MINISYCL_DEVICE")) {
+    if (*Choice == "cpu")
+      return cpu_device();
+    if (*Choice == "p630")
+      return gpu_device_p630();
+    if (*Choice == "xemax")
+      return gpu_device_iris_xe_max();
+    // Unknown value: fall through to the CPU rather than abort (matches
+    // SYCL's behaviour of falling back when a filter matches nothing).
+  }
+  return cpu_device();
+}
+
+std::vector<device> device::get_devices() {
+  return {cpu_device(), gpu_device_p630(), gpu_device_iris_xe_max()};
+}
+
+bool device::is_cpu() const { return Impl->IsCpu; }
+bool device::is_gpu() const { return !Impl->IsCpu; }
+
+const std::string &device::name() const { return Impl->Name; }
+
+int device::max_compute_units() const {
+  return Impl->IsCpu ? Impl->Topology.coreCount() : Impl->Gpu.ExecutionUnits;
+}
+
+std::size_t device::global_mem_size() const {
+  if (Impl->IsCpu) {
+    // Report a conventional figure: topology does not know DIMM sizes.
+    return std::size_t(16) << 30;
+  }
+  return std::size_t(Impl->Gpu.MemoryBytes);
+}
+
+const hichi::CpuTopology &device::cpu_topology() const {
+  assert(Impl->IsCpu && "cpu_topology() queried on a GPU device");
+  return Impl->Topology;
+}
+
+const hichi::gpusim::GpuParameters *device::gpu_model() const {
+  return Impl->IsCpu ? nullptr : &Impl->Gpu;
+}

@@ -1,0 +1,71 @@
+//===-- minisycl/event.h - Kernel completion events -------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Completion events returned by queue::submit. The runtime executes
+/// command groups eagerly (a conforming implementation of an in-order
+/// queue), so wait() is trivially satisfied; the event's value is its
+/// profiling data:
+///
+///   * on CPU devices, the measured wall time of the kernel;
+///   * on simulated GPU devices, the time charged by the gpusim model
+///     (the measured host time is also kept, for the curious).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_MINISYCL_EVENT_H
+#define HICHI_MINISYCL_EVENT_H
+
+#include <cstdint>
+#include <memory>
+
+namespace minisycl {
+
+class queue;
+
+/// Completion + profiling handle for one submitted command group.
+class event {
+public:
+  event() : State(std::make_shared<EventState>()) {}
+
+  /// Blocks until the command completes. Eager execution makes this a
+  /// no-op, but call sites keep the SYCL shape
+  /// (`device.submit(kernel).wait_and_throw()`, paper Section 4.2).
+  void wait() {}
+
+  /// SYCL's wait_and_throw: with exceptions disabled in this project,
+  /// asynchronous errors abort at their origin, so this equals wait().
+  void wait_and_throw() {}
+
+  /// Kernel duration [ns]: modeled for simulated GPUs, measured for CPUs.
+  std::int64_t duration_ns() const { return State->DurationNs; }
+
+  /// Host wall time [ns] the command actually took in this process.
+  std::int64_t host_duration_ns() const { return State->HostNs; }
+
+  /// True if duration_ns() came from the gpusim model.
+  bool is_modeled() const { return State->Modeled; }
+
+  /// True if this launch included (modeled) JIT compilation — the paper's
+  /// first-iteration effect (Section 5.3).
+  bool included_jit() const { return State->IncludedJit; }
+
+private:
+  struct EventState {
+    std::int64_t DurationNs = 0;
+    std::int64_t HostNs = 0;
+    bool Modeled = false;
+    bool IncludedJit = false;
+  };
+
+  std::shared_ptr<EventState> State;
+
+  friend class queue;
+};
+
+} // namespace minisycl
+
+#endif // HICHI_MINISYCL_EVENT_H

@@ -1,0 +1,246 @@
+//===-- minisycl/handler.h - Command group handler --------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-group handler: the `h` in the paper's listing
+///
+/// \code
+///   auto kernel = [&](sycl::handler& h) {
+///     h.parallel_for(sycl::range<1>(numParticles),
+///                    [=](sycl::id<1> ind) { ... });
+///   };
+///   device.submit(kernel).wait_and_throw();
+/// \endcode
+///
+/// parallel_for records a type-erased launcher; the queue executes it with
+/// the scheduling policy of its device (dynamic / NUMA arenas on CPU, the
+/// gpusim-timed path on simulated GPUs). Kernels are captured **by copy**,
+/// exactly the semantics the paper relies on for USM pointers ("objects
+/// must have a default copy constructor ... copied without actually
+/// copying the contents of the buffer", Section 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_MINISYCL_HANDLER_H
+#define HICHI_MINISYCL_HANDLER_H
+
+#include "gpusim/GpuDeviceModel.h"
+#include "minisycl/range.h"
+#include "support/Config.h"
+#include "support/CpuTopology.h"
+#include "threading/TaskScheduler.h"
+#include "threading/ThreadPool.h"
+
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace minisycl {
+
+/// CPU kernel placement policies (paper Section 4.3): `flat` is DPC++'s
+/// default dynamic scheduling over all cores; `numa_domains` reproduces
+/// DPCPP_CPU_PLACES=numa_domains.
+enum class cpu_places { flat, numa_domains };
+
+/// How a recorded command group is to be executed; filled in by the queue.
+struct launch_config {
+  hichi::threading::ThreadPool *Pool = nullptr;
+  const hichi::CpuTopology *Topology = nullptr;
+  int Width = 1;
+  cpu_places Places = cpu_places::flat;
+};
+
+/// Accumulator handed to reduction kernels; combines into a per-worker
+/// partial (SYCL 2020 `reducer` shape).
+template <typename T, typename BinaryOp> class reducer {
+public:
+  reducer(T *Partial, BinaryOp Op) : Partial(Partial), Op(Op) {}
+
+  void combine(const T &Value) { *Partial = Op(*Partial, Value); }
+
+  /// Convenience operator for sum reductions (SYCL provides the operator
+  /// matching the reduction's BinaryOp; += covers the common case).
+  reducer &operator+=(const T &Value) {
+    combine(Value);
+    return *this;
+  }
+
+private:
+  T *Partial;
+  BinaryOp Op;
+};
+
+/// Descriptor created by minisycl::reduction(); consumed by
+/// handler::parallel_for.
+template <typename T, typename BinaryOp> struct reduction_descriptor {
+  T *Target;
+  T Identity;
+  BinaryOp Op;
+};
+
+/// SYCL 2020 `sycl::reduction`: reduce into \p Target with \p Op, using
+/// \p Identity as the neutral element. The variable's prior value is
+/// combined into the result (SYCL's default behaviour without
+/// initialize_to_identity).
+template <typename T, typename BinaryOp>
+reduction_descriptor<T, BinaryOp> reduction(T *Target, T Identity,
+                                            BinaryOp Op) {
+  return {Target, Identity, Op};
+}
+
+/// Builds and records the commands of one command group.
+class handler {
+public:
+  /// Launches \p Kernel over a Dims-dimensional \p Extent. The kernel is
+  /// copied (SYCL capture semantics) and invoked as Kernel(id<Dims>).
+  template <int Dims, typename KernelFn>
+  void parallel_for(range<Dims> Extent, KernelFn Kernel) {
+    static_assert(std::is_copy_constructible_v<KernelFn>,
+                  "SYCL kernels are captured by copy");
+    WorkItems = hichi::Index(Extent.size());
+    KernelTypeId = uniqueTypeId<KernelFn>();
+    // Note the by-copy [=] capture of Kernel into the launcher: this is
+    // the single point where kernel state crosses to worker threads.
+    Launcher = [Extent, Kernel](const launch_config &Config) {
+      auto Body = [&](hichi::Index Linear) {
+        if constexpr (Dims == 1)
+          Kernel(id<1>(std::size_t(Linear)));
+        else
+          Kernel(id<Dims>::delinearize(std::size_t(Linear), Extent));
+      };
+      dispatch(Config, hichi::Index(Extent.size()), Body);
+    };
+  }
+
+  /// nd_range form: the local size serves as the scheduling grain, which
+  /// is how DPC++'s CPU device consumes it too.
+  template <int Dims, typename KernelFn>
+  void parallel_for(nd_range<Dims> Range, KernelFn Kernel) {
+    range<Dims> Extent = Range.get_global_range();
+    std::size_t Grain = Range.get_local_range().size();
+    WorkItems = hichi::Index(Extent.size());
+    KernelTypeId = uniqueTypeId<KernelFn>();
+    Launcher = [Extent, Grain, Kernel](const launch_config &Config) {
+      auto Body = [&](hichi::Index Linear) {
+        id<Dims> Id = id<Dims>::delinearize(std::size_t(Linear), Extent);
+        Kernel(item<Dims>(Id, Extent));
+      };
+      dispatchWithGrain(Config, hichi::Index(Extent.size()),
+                        hichi::Index(Grain), Body);
+    };
+  }
+
+  /// Reduction launch: Kernel(id<Dims>, reducer&) accumulates into
+  /// per-worker partials combined into the descriptor's target at the
+  /// end (statically partitioned — reductions want a fixed worker count,
+  /// not chunk stealing).
+  template <int Dims, typename T, typename BinaryOp, typename KernelFn>
+  void parallel_for(range<Dims> Extent,
+                    reduction_descriptor<T, BinaryOp> Desc, KernelFn Kernel) {
+    WorkItems = hichi::Index(Extent.size());
+    KernelTypeId = uniqueTypeId<KernelFn>();
+    Launcher = [Extent, Desc, Kernel](const launch_config &Config) {
+      using namespace hichi::threading;
+      const hichi::Index Size = hichi::Index(Extent.size());
+      const int Width =
+          Config.Pool && Config.Width > 1 ? Config.Width : 1;
+      std::vector<T> Partials(std::size_t(Width), Desc.Identity);
+
+      auto RunBlock = [&](int Worker) {
+        T Local = Desc.Identity;
+        reducer<T, BinaryOp> Reducer(&Local, Desc.Op);
+        IndexRange Block = staticBlock({0, Size}, Worker, Width);
+        for (hichi::Index I = Block.Begin; I < Block.End; ++I) {
+          if constexpr (Dims == 1)
+            Kernel(id<1>(std::size_t(I)), Reducer);
+          else
+            Kernel(id<Dims>::delinearize(std::size_t(I), Extent), Reducer);
+        }
+        Partials[std::size_t(Worker)] = Local;
+      };
+
+      if (Width == 1)
+        RunBlock(0);
+      else
+        Config.Pool->run(Width, RunBlock);
+
+      T Result = *Desc.Target; // SYCL default: fold in the prior value
+      for (const T &Partial : Partials)
+        Result = Desc.Op(Result, Partial);
+      *Desc.Target = Result;
+    };
+  }
+
+  /// Runs \p Task once on one thread.
+  template <typename TaskFn> void single_task(TaskFn Task) {
+    WorkItems = 1;
+    KernelTypeId = uniqueTypeId<TaskFn>();
+    Launcher = [Task](const launch_config &) { Task(); };
+  }
+
+  /// Device copy; USM is host memory here so this is std::memcpy.
+  void memcpy(void *Dst, const void *Src, std::size_t Bytes) {
+    WorkItems = hichi::Index(Bytes);
+    KernelTypeId = nullptr;
+    Launcher = [Dst, Src, Bytes](const launch_config &) {
+      std::memcpy(Dst, Src, Bytes);
+    };
+  }
+
+  /// Attaches a gpusim workload profile so simulated-GPU events can charge
+  /// modeled time. Ignored by CPU devices. (DPC++ has no equivalent —
+  /// real hardware measures itself; this is the simulation seam.)
+  void set_workload_hint(const hichi::gpusim::KernelProfile &Profile) {
+    Hint = Profile;
+    HasHint = true;
+  }
+
+private:
+  /// Stable identity per kernel *type* without RTTI: the address of a
+  /// function-template-static is unique per instantiation. Used to model
+  /// the one-time JIT cost of each kernel (paper Section 5.3).
+  template <typename KernelFn> static const void *uniqueTypeId() {
+    static const char Tag = 0;
+    return &Tag;
+  }
+
+  template <typename BodyFn>
+  static void dispatch(const launch_config &Config, hichi::Index Size,
+                       BodyFn &&Body) {
+    dispatchWithGrain(Config, Size,
+                      hichi::threading::defaultGrain(Size, Config.Width),
+                      std::forward<BodyFn>(Body));
+  }
+
+  template <typename BodyFn>
+  static void dispatchWithGrain(const launch_config &Config, hichi::Index Size,
+                                hichi::Index Grain, BodyFn &&Body) {
+    using namespace hichi::threading;
+    if (!Config.Pool || Config.Width <= 1) {
+      for (hichi::Index I = 0; I < Size; ++I)
+        Body(I);
+      return;
+    }
+    if (Config.Places == cpu_places::numa_domains && Config.Topology)
+      numaParallelFor(*Config.Pool, *Config.Topology, 0, Size, Config.Width,
+                      Grain, Body);
+    else
+      dynamicParallelFor(*Config.Pool, 0, Size, Config.Width, Grain, Body);
+  }
+
+  std::function<void(const launch_config &)> Launcher;
+  hichi::Index WorkItems = 0;
+  const void *KernelTypeId = nullptr;
+  hichi::gpusim::KernelProfile Hint{};
+  bool HasHint = false;
+
+  friend class queue;
+};
+
+} // namespace minisycl
+
+#endif // HICHI_MINISYCL_HANDLER_H

@@ -1,0 +1,78 @@
+//===-- minisycl/queue.cpp - Command queue --------------------------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minisycl/queue.h"
+
+#include "support/EnvVar.h"
+#include "support/Timer.h"
+
+using namespace minisycl;
+
+queue::queue() : queue(default_device()) {}
+
+queue::queue(const device &Dev) : Dev(Dev) {
+  Pool = &hichi::threading::ThreadPool::global();
+  if (Dev.is_cpu()) {
+    Topology = &Dev.cpu_topology();
+    Width = Topology->coreCount();
+    if (hichi::envEquals("MINISYCL_CPU_PLACES", "numa_domains"))
+      Places = cpu_places::numa_domains;
+  } else {
+    // Simulated GPU kernels still execute on host threads (full width) so
+    // large correctness runs are not serialized.
+    Width = Pool->maxWidth();
+  }
+  if (auto Threads = hichi::getEnvInt("MINISYCL_NUM_THREADS"))
+    set_thread_count(int(*Threads));
+}
+
+void queue::set_thread_count(int Threads) {
+  if (Threads < 1)
+    Threads = 1;
+  if (Threads > Pool->maxWidth())
+    Threads = Pool->maxWidth();
+  Width = Threads;
+}
+
+event queue::execute(handler &Handler) {
+  event Event;
+  if (!Handler.Launcher)
+    return Event; // empty command group: legal, nothing to do
+
+  launch_config Config;
+  Config.Pool = Pool;
+  Config.Topology = Topology;
+  Config.Width = Width;
+  Config.Places = Places;
+
+  hichi::Stopwatch Watch;
+  Handler.Launcher(Config);
+  std::int64_t HostNs = Watch.elapsedNanoseconds();
+
+  bool FirstLaunch = false;
+  if (Handler.KernelTypeId)
+    FirstLaunch = JittedKernels.insert(Handler.KernelTypeId).second;
+
+  Event.State->HostNs = HostNs;
+  if (const hichi::gpusim::GpuParameters *Gpu = Dev.gpu_model()) {
+    // Simulated GPU: charge modeled time when the submitter provided a
+    // workload profile; fall back to host time otherwise (still a valid
+    // execution, just not a modeled one).
+    if (Handler.HasHint) {
+      Event.State->DurationNs =
+          std::int64_t(hichi::gpusim::modelKernelTimeNs(
+              *Gpu, Handler.Hint, Handler.WorkItems, FirstLaunch));
+      Event.State->Modeled = true;
+      Event.State->IncludedJit = FirstLaunch;
+    } else {
+      Event.State->DurationNs = HostNs;
+    }
+  } else {
+    Event.State->DurationNs = HostNs;
+    Event.State->IncludedJit = FirstLaunch;
+  }
+  return Event;
+}

@@ -1,0 +1,114 @@
+//===-- minisycl/queue.h - Command queue ------------------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command queue: accepts command groups, executes them with the
+/// device's scheduling policy, and returns profiled events.
+///
+/// CPU scheduling honours MINISYCL_CPU_PLACES=numa_domains (the paper's
+/// DPCPP_CPU_PLACES, Section 4.3) and MINISYCL_NUM_THREADS; both can also
+/// be set programmatically, which the benchmark matrix uses to toggle the
+/// 'DPC++' and 'DPC++ NUMA' rows of Table 2 inside one process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_MINISYCL_QUEUE_H
+#define HICHI_MINISYCL_QUEUE_H
+
+#include "minisycl/device.h"
+#include "minisycl/event.h"
+#include "minisycl/handler.h"
+#include "minisycl/usm.h"
+
+#include <unordered_set>
+
+namespace minisycl {
+
+/// An in-order, eagerly executing command queue.
+class queue {
+public:
+  /// Queue on default_device() (MINISYCL_DEVICE or the CPU).
+  queue();
+
+  /// Queue on an explicit device.
+  explicit queue(const device &Dev);
+
+  /// Submits a command group: \p GroupFn receives a handler& to record
+  /// commands. \returns the profiled completion event.
+  template <typename GroupFn> event submit(GroupFn &&GroupFn_) {
+    handler Handler;
+    GroupFn_(Handler);
+    return execute(Handler);
+  }
+
+  /// Shortcut: submit a bare parallel_for.
+  template <int Dims, typename KernelFn>
+  event parallel_for(range<Dims> Extent, KernelFn Kernel) {
+    return submit([&](handler &H) { H.parallel_for(Extent, Kernel); });
+  }
+
+  /// Shortcut: device-to-device/host memcpy (USM).
+  event memcpy(void *Dst, const void *Src, std::size_t Bytes) {
+    return submit([&](handler &H) { H.memcpy(Dst, Src, Bytes); });
+  }
+
+  /// SYCL 2020 queue::fill: assigns \p Value to Count elements at \p Ptr
+  /// in parallel.
+  template <typename T> event fill(T *Ptr, const T &Value, std::size_t Count) {
+    return parallel_for(range<1>(Count),
+                        [=](id<1> I) { Ptr[I] = Value; });
+  }
+
+  /// SYCL 2020 queue::copy (USM pointer form): Src -> Dst, Count
+  /// elements.
+  template <typename T>
+  event copy(const T *Src, T *Dst, std::size_t Count) {
+    return memcpy(Dst, Src, Count * sizeof(T));
+  }
+
+  /// Blocks until all submitted work completes (trivially satisfied).
+  void wait() {}
+  void wait_and_throw() {}
+
+  const device &get_device() const { return Dev; }
+
+  /// CPU scheduling knobs (no-ops for GPU queues).
+  void set_cpu_places(cpu_places Places) { this->Places = Places; }
+  cpu_places get_cpu_places() const { return Places; }
+  void set_thread_count(int Threads);
+  int thread_count() const { return Width; }
+
+  /// Forgets which kernels were already JIT-compiled, so the next launch
+  /// of each kernel charges the first-launch cost again (used by the
+  /// first-iteration benchmark).
+  void reset_jit_cache() { JittedKernels.clear(); }
+
+private:
+  event execute(handler &Handler);
+
+  device Dev;
+  hichi::threading::ThreadPool *Pool = nullptr;
+  const hichi::CpuTopology *Topology = nullptr;
+  int Width = 1;
+  cpu_places Places = cpu_places::flat;
+  std::unordered_set<const void *> JittedKernels;
+};
+
+/// Queue-flavoured USM entry points (SYCL provides both spellings).
+template <typename T> T *malloc_shared(std::size_t Count, const queue &Q) {
+  return malloc_shared<T>(Count, Q.get_device());
+}
+template <typename T> T *malloc_device(std::size_t Count, const queue &Q) {
+  return malloc_device<T>(Count, Q.get_device());
+}
+template <typename T> T *malloc_host(std::size_t Count, const queue &Q) {
+  return malloc_host<T>(Count, Q.get_device());
+}
+inline void free(void *Ptr, const queue &) { free(Ptr); }
+
+} // namespace minisycl
+
+#endif // HICHI_MINISYCL_QUEUE_H

@@ -1,0 +1,65 @@
+//===-- numa/NumaCostModel.h - Remote-access bandwidth model ---*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bandwidth model for NUMA nodes. A memory-bound kernel (the paper calls
+/// the pusher memory-bound throughout Section 5.3) streams at the local
+/// memory bandwidth when its pages are local and at the (much lower) UPI
+/// cross-socket bandwidth when they are remote; a mix is a harmonic
+/// combination because the two transfers serialize on the same demand
+/// stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_NUMA_NUMACOSTMODEL_H
+#define HICHI_NUMA_NUMACOSTMODEL_H
+
+#include <cassert>
+
+namespace hichi {
+namespace numa {
+
+/// Bandwidth parameters of one NUMA machine (per-socket numbers).
+struct NumaBandwidth {
+  /// Local DRAM streaming bandwidth per socket [bytes/s].
+  double LocalBytesPerSec;
+  /// Cross-socket (UPI) streaming bandwidth per socket [bytes/s].
+  double RemoteBytesPerSec;
+};
+
+/// \returns the effective streaming bandwidth [bytes/s] of one socket when
+/// a fraction \p RemoteFraction of traffic crosses the interconnect:
+/// harmonic interpolation 1 / ((1-f)/BWl + f/BWr).
+inline double effectiveBandwidth(const NumaBandwidth &BW,
+                                 double RemoteFraction) {
+  assert(RemoteFraction >= 0.0 && RemoteFraction <= 1.0 &&
+         "remote fraction out of [0,1]");
+  double Local = (1.0 - RemoteFraction) / BW.LocalBytesPerSec;
+  double Remote = RemoteFraction / BW.RemoteBytesPerSec;
+  return 1.0 / (Local + Remote);
+}
+
+/// Expected remote fraction of the three scheduling policies on a machine
+/// with \p Domains domains, for data first-touched by a *static* loop:
+///
+///   * static processing   -> same mapping as the touch pass -> all local;
+///   * NUMA-arena dynamic  -> arenas process their own slice -> all local;
+///   * unconstrained dynamic -> a chunk lands on any domain with equal
+///     probability, so (Domains-1)/Domains of accesses are remote.
+///
+/// The FirstTouchTracker measures the same quantity experimentally; tests
+/// check the measurement against this closed form.
+inline double expectedRemoteFraction(int Domains, bool DynamicUnconstrained) {
+  assert(Domains > 0 && "degenerate domain count");
+  if (!DynamicUnconstrained || Domains == 1)
+    return 0.0;
+  return double(Domains - 1) / double(Domains);
+}
+
+} // namespace numa
+} // namespace hichi
+
+#endif // HICHI_NUMA_NUMACOSTMODEL_H

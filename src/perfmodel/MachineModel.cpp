@@ -1,0 +1,26 @@
+//===-- perfmodel/MachineModel.cpp - Paper hardware descriptors ----------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perfmodel/MachineModel.h"
+
+using namespace hichi;
+using namespace hichi::perfmodel;
+
+CpuMachine CpuMachine::xeon8260LNode() {
+  CpuMachine M;
+  M.Name = "2x Intel Xeon Platinum 8260L (Cascade Lake)";
+  M.Sockets = 2;
+  M.CoresPerSocket = 24;
+  // AVX-512-heavy code clocks near the AVX-512 all-core turbo (~2.4 GHz
+  // license floor on 8260L under mixed load; we use a sustained 2.4).
+  M.SustainedClockGHz = 2.4;
+  M.SimdLanesSingle = 16; // AVX-512
+  M.FlopsPerCyclePerLane = 2.0; // one FMA pipe sustained on this workload
+  M.LocalBandwidthPerSocket = 135e9; // 6ch DDR4-2933, STREAM-class
+  M.RemoteBandwidthPerSocket = 60e9; // 3 UPI links
+  M.PerCoreBandwidth = 13e9;
+  return M;
+}

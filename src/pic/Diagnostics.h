@@ -1,0 +1,215 @@
+//===-- pic/Diagnostics.h - Ensemble diagnostics ----------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observables the physics examples and integration tests read off an
+/// ensemble: summary statistics, energy spectra, 1-D/2-D phase-space
+/// histograms, and CSV output. These are the "data analysis" half of the
+/// Hi-Chi toolbox the paper describes ("an open-source collection of
+/// Python-controlled tools for performing simulations and data
+/// analysis", Section 3) — here as plain C++ so the examples are
+/// self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_PIC_DIAGNOSTICS_H
+#define HICHI_PIC_DIAGNOSTICS_H
+
+#include "core/Particle.h"
+#include "core/ParticleTypes.h"
+#include "support/Logging.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hichi {
+namespace pic {
+
+/// Fixed-range 1-D histogram with under/overflow bins.
+class Histogram1D {
+public:
+  Histogram1D(double Lo, double Hi, int Bins)
+      : Lo(Lo), Hi(Hi), Counts(std::size_t(Bins) + 2, 0.0) {
+    assert(Bins > 0 && Hi > Lo && "degenerate histogram");
+  }
+
+  int binCount() const { return int(Counts.size()) - 2; }
+  double low() const { return Lo; }
+  double high() const { return Hi; }
+  double binWidth() const { return (Hi - Lo) / binCount(); }
+
+  /// Adds \p Value with statistical weight \p Weight.
+  void add(double Value, double Weight = 1.0) {
+    Counts[std::size_t(binIndex(Value))] += Weight;
+    Total += Weight;
+  }
+
+  /// Weight in bin \p Bin (0-based, excludes under/overflow).
+  double count(int Bin) const {
+    assert(Bin >= 0 && Bin < binCount() && "bin out of range");
+    return Counts[std::size_t(Bin) + 1];
+  }
+
+  double underflow() const { return Counts.front(); }
+  double overflow() const { return Counts.back(); }
+  double totalWeight() const { return Total; }
+
+  /// Center of bin \p Bin.
+  double binCenter(int Bin) const {
+    return Lo + (Bin + 0.5) * binWidth();
+  }
+
+  /// Index of the fullest bin.
+  int peakBin() const {
+    return int(std::max_element(Counts.begin() + 1, Counts.end() - 1) -
+               (Counts.begin() + 1));
+  }
+
+private:
+  /// 0 = underflow, 1..Bins = interior, Bins+1 = overflow.
+  int binIndex(double Value) const {
+    if (Value < Lo)
+      return 0;
+    if (Value >= Hi)
+      return binCount() + 1;
+    return 1 + int((Value - Lo) / binWidth());
+  }
+
+  double Lo, Hi;
+  double Total = 0;
+  std::vector<double> Counts;
+};
+
+/// Fixed-range 2-D histogram (phase-space plots: e.g. x vs px).
+class Histogram2D {
+public:
+  Histogram2D(double XLo, double XHi, int XBins, double YLo, double YHi,
+              int YBins)
+      : XLo(XLo), XHi(XHi), XBins(XBins), YLo(YLo), YHi(YHi), YBins(YBins),
+        Counts(std::size_t(XBins) * std::size_t(YBins), 0.0) {
+    assert(XBins > 0 && YBins > 0 && XHi > XLo && YHi > YLo &&
+           "degenerate histogram");
+  }
+
+  void add(double X, double Y, double Weight = 1.0) {
+    if (X < XLo || X >= XHi || Y < YLo || Y >= YHi)
+      return; // out-of-range samples are dropped (phase-space plots clip)
+    int XI = int((X - XLo) / (XHi - XLo) * XBins);
+    int YI = int((Y - YLo) / (YHi - YLo) * YBins);
+    Counts[std::size_t(XI) * std::size_t(YBins) + std::size_t(YI)] += Weight;
+  }
+
+  double count(int XI, int YI) const {
+    assert(XI >= 0 && XI < XBins && YI >= 0 && YI < YBins && "bin OOR");
+    return Counts[std::size_t(XI) * std::size_t(YBins) + std::size_t(YI)];
+  }
+
+  int xBins() const { return XBins; }
+  int yBins() const { return YBins; }
+
+private:
+  double XLo, XHi;
+  int XBins;
+  double YLo, YHi;
+  int YBins;
+  std::vector<double> Counts;
+};
+
+/// Summary statistics over an ensemble (any layout, via proxies).
+struct EnsembleSummary {
+  Index Count = 0;
+  Vector3<double> MeanPosition{};
+  Vector3<double> MeanMomentum{};
+  double MeanGamma = 0;
+  double MaxGamma = 0;
+  double TotalWeight = 0;
+  double TotalKineticEnergy = 0; ///< sum_i w_i (gamma_i - 1) m c^2
+};
+
+/// Computes summary statistics; \p C is the light speed of the active
+/// unit system.
+template <typename Array, typename Real>
+EnsembleSummary summarize(const Array &Particles,
+                          const ParticleTypeTable<Real> &Types, Real C) {
+  EnsembleSummary S;
+  S.Count = Particles.size();
+  if (S.Count == 0)
+    return S;
+  auto View = Particles.view();
+  for (Index I = 0; I < S.Count; ++I) {
+    auto P = View[I];
+    S.MeanPosition += vectorCast<double>(P.position());
+    S.MeanMomentum += vectorCast<double>(P.momentum());
+    S.MeanGamma += double(P.gamma());
+    S.MaxGamma = std::max(S.MaxGamma, double(P.gamma()));
+    S.TotalWeight += double(P.weight());
+    S.TotalKineticEnergy += double(P.weight()) *
+                            double((P.gamma() - Real(1)) *
+                                   Types[P.type()].Mass * C * C);
+  }
+  S.MeanPosition /= double(S.Count);
+  S.MeanMomentum /= double(S.Count);
+  S.MeanGamma /= double(S.Count);
+  return S;
+}
+
+/// Histograms the kinetic-energy distribution (units of m_e c^2 per
+/// species mass — i.e. gamma - 1), weight-aware.
+template <typename Array, typename Real>
+Histogram1D energySpectrum(const Array &Particles,
+                           const ParticleTypeTable<Real> &, double MaxGamma,
+                           int Bins = 64) {
+  Histogram1D H(0.0, MaxGamma, Bins);
+  auto View = Particles.view();
+  for (Index I = 0, E = Particles.size(); I < E; ++I) {
+    auto P = View[I];
+    H.add(double(P.gamma()) - 1.0, double(P.weight()));
+  }
+  return H;
+}
+
+/// Writes a histogram as two-column CSV ("center,count").
+inline bool writeCsv(const Histogram1D &H, const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::fprintf(File, "bin_center,count\n");
+  for (int B = 0; B < H.binCount(); ++B)
+    std::fprintf(File, "%.10g,%.10g\n", H.binCenter(B), H.count(B));
+  std::fclose(File);
+  return true;
+}
+
+/// Writes arbitrary named columns as CSV; all columns must have equal
+/// length. \returns false if the file cannot be opened.
+inline bool writeCsv(const std::vector<std::string> &Headers,
+                     const std::vector<std::vector<double>> &Columns,
+                     const std::string &Path) {
+  assert(Headers.size() == Columns.size() && "header/column mismatch");
+  for ([[maybe_unused]] const auto &Col : Columns)
+    assert(Col.size() == Columns.front().size() && "ragged columns");
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  for (std::size_t H = 0; H < Headers.size(); ++H)
+    std::fprintf(File, "%s%s", Headers[H].c_str(),
+                 H + 1 < Headers.size() ? "," : "\n");
+  if (!Columns.empty())
+    for (std::size_t R = 0; R < Columns.front().size(); ++R)
+      for (std::size_t C = 0; C < Columns.size(); ++C)
+        std::fprintf(File, "%.10g%s", Columns[C][R],
+                     C + 1 < Columns.size() ? "," : "\n");
+  std::fclose(File);
+  return true;
+}
+
+} // namespace pic
+} // namespace hichi
+
+#endif // HICHI_PIC_DIAGNOSTICS_H

@@ -1,0 +1,112 @@
+//===-- pic/FdtdSolver.h - FDTD Maxwell solver ------------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FDTD solver for Maxwell's equations in Gaussian units (the paper's
+/// eq. 1-2):
+///
+///   dE/dt =  c curl B - 4 pi J
+///   dB/dt = -c curl E
+///
+/// on the staggered Yee grid with periodic boundaries, leapfrogged as
+/// B(half) -> E(full) -> B(half) so E and B are synchronous at step
+/// boundaries. Stability requires the 3-D Courant condition
+/// c dt <= 1 / sqrt(1/dx^2 + 1/dy^2 + 1/dz^2), asserted by the driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_PIC_FDTDSOLVER_H
+#define HICHI_PIC_FDTDSOLVER_H
+
+#include "pic/YeeGrid.h"
+#include "support/Constants.h"
+
+namespace hichi {
+namespace pic {
+
+/// FDTD update kernels over a YeeGrid.
+template <typename Real> class FdtdSolver {
+public:
+  explicit FdtdSolver(Real LightVelocity = Real(constants::LightVelocity))
+      : C(LightVelocity) {}
+
+  Real lightVelocity() const { return C; }
+
+  /// Largest stable time step for \p Grid (Courant limit).
+  Real courantLimit(const YeeGrid<Real> &Grid) const {
+    const Vector3<Real> D = Grid.step();
+    const Real Inv2 = Real(1) / (D.X * D.X) + Real(1) / (D.Y * D.Y) +
+                      Real(1) / (D.Z * D.Z);
+    return Real(1) / (C * std::sqrt(Inv2));
+  }
+
+  /// Advances B by \p Dt: B -= c dt curl E, with curls evaluated at the
+  /// staggered B points.
+  void advanceB(YeeGrid<Real> &Grid, Real Dt) const {
+    const GridSize N = Grid.size();
+    const Vector3<Real> D = Grid.step();
+    const Real Cx = C * Dt / D.X, Cy = C * Dt / D.Y, Cz = C * Dt / D.Z;
+    for (Index I = 0; I < N.Nx; ++I)
+      for (Index J = 0; J < N.Ny; ++J)
+        for (Index K = 0; K < N.Nz; ++K) {
+          // (curl E)_x at Bx point (i, j+1/2, k+1/2):
+          //   dEz/dy - dEy/dz
+          Grid.Bx(I, J, K) -=
+              Cy * (Grid.Ez(I, J + 1, K) - Grid.Ez(I, J, K)) -
+              Cz * (Grid.Ey(I, J, K + 1) - Grid.Ey(I, J, K));
+          // (curl E)_y at By point (i+1/2, j, k+1/2): dEx/dz - dEz/dx
+          Grid.By(I, J, K) -=
+              Cz * (Grid.Ex(I, J, K + 1) - Grid.Ex(I, J, K)) -
+              Cx * (Grid.Ez(I + 1, J, K) - Grid.Ez(I, J, K));
+          // (curl E)_z at Bz point (i+1/2, j+1/2, k): dEy/dx - dEx/dy
+          Grid.Bz(I, J, K) -=
+              Cx * (Grid.Ey(I + 1, J, K) - Grid.Ey(I, J, K)) -
+              Cy * (Grid.Ex(I, J + 1, K) - Grid.Ex(I, J, K));
+        }
+  }
+
+  /// Advances E by \p Dt: E += c dt curl B - 4 pi dt J.
+  void advanceE(YeeGrid<Real> &Grid, Real Dt) const {
+    const GridSize N = Grid.size();
+    const Vector3<Real> D = Grid.step();
+    const Real Cx = C * Dt / D.X, Cy = C * Dt / D.Y, Cz = C * Dt / D.Z;
+    const Real JFactor = Real(4) * Real(constants::Pi) * Dt;
+    for (Index I = 0; I < N.Nx; ++I)
+      for (Index J = 0; J < N.Ny; ++J)
+        for (Index K = 0; K < N.Nz; ++K) {
+          // (curl B)_x at Ex point (i+1/2, j, k): dBz/dy - dBy/dz with
+          // backward differences (B sits half a cell up from E).
+          Grid.Ex(I, J, K) +=
+              Cy * (Grid.Bz(I, J, K) - Grid.Bz(I, J - 1, K)) -
+              Cz * (Grid.By(I, J, K) - Grid.By(I, J, K - 1)) -
+              JFactor * Grid.Jx(I, J, K);
+          Grid.Ey(I, J, K) +=
+              Cz * (Grid.Bx(I, J, K) - Grid.Bx(I, J, K - 1)) -
+              Cx * (Grid.Bz(I, J, K) - Grid.Bz(I - 1, J, K)) -
+              JFactor * Grid.Jy(I, J, K);
+          Grid.Ez(I, J, K) +=
+              Cx * (Grid.By(I, J, K) - Grid.By(I - 1, J, K)) -
+              Cy * (Grid.Bx(I, J, K) - Grid.Bx(I, J - 1, K)) -
+              JFactor * Grid.Jz(I, J, K);
+        }
+  }
+
+  /// One full step with synchronous E/B at entry and exit:
+  /// B half, E full, B half.
+  void step(YeeGrid<Real> &Grid, Real Dt) const {
+    advanceB(Grid, Dt / Real(2));
+    advanceE(Grid, Dt);
+    advanceB(Grid, Dt / Real(2));
+  }
+
+private:
+  Real C;
+};
+
+} // namespace pic
+} // namespace hichi
+
+#endif // HICHI_PIC_FDTDSOLVER_H

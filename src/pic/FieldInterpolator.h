@@ -1,0 +1,80 @@
+//===-- pic/FieldInterpolator.h - Yee grid -> particle fields --*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpolation of the staggered Yee fields to particle positions (the
+/// "interpolated values of the electromagnetic field" the Lorentz force
+/// needs, paper Section 2). Each of the six components is interpolated on
+/// its own staggered sub-lattice with the chosen form factor, so a
+/// particle sees fields consistent with the solver's discretization.
+///
+/// The interpolator is a field source in the sense of core/FieldSample.h,
+/// so the PIC loop drives exactly the same pusher kernels the standalone
+/// benchmarks use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_PIC_FIELDINTERPOLATOR_H
+#define HICHI_PIC_FIELDINTERPOLATOR_H
+
+#include "core/FieldSample.h"
+#include "pic/FormFactor.h"
+#include "pic/YeeGrid.h"
+
+namespace hichi {
+namespace pic {
+
+/// Interpolating field source over a YeeGrid with form factor \p Shape.
+template <typename Real, typename Shape = CicShape> class YeeInterpolator {
+public:
+  explicit YeeInterpolator(const YeeGrid<Real> &Grid) : Grid(&Grid) {}
+
+  /// Field-source interface.
+  FieldSample<Real> operator()(const Vector3<Real> &Pos, Real /*Time*/,
+                               Index /*ParticleIndex*/) const {
+    FieldSample<Real> Out;
+    // Staggering offsets, in cell units, of each component's sub-lattice.
+    Out.E.X = gather(Grid->Ex, Pos, Real(0.5), Real(0), Real(0));
+    Out.E.Y = gather(Grid->Ey, Pos, Real(0), Real(0.5), Real(0));
+    Out.E.Z = gather(Grid->Ez, Pos, Real(0), Real(0), Real(0.5));
+    Out.B.X = gather(Grid->Bx, Pos, Real(0), Real(0.5), Real(0.5));
+    Out.B.Y = gather(Grid->By, Pos, Real(0.5), Real(0), Real(0.5));
+    Out.B.Z = gather(Grid->Bz, Pos, Real(0.5), Real(0.5), Real(0));
+    return Out;
+  }
+
+private:
+  /// Interpolates one component lattice at \p Pos; (Ox, Oy, Oz) is the
+  /// component's staggering offset in cell units.
+  Real gather(const ScalarLattice<Real> &F, const Vector3<Real> &Pos, Real Ox,
+              Real Oy, Real Oz) const {
+    const Vector3<Real> D = Grid->step();
+    const Vector3<Real> O = Grid->origin();
+    const Real Gx = (Pos.X - O.X) / D.X - Ox;
+    const Real Gy = (Pos.Y - O.Y) / D.Y - Oy;
+    const Real Gz = (Pos.Z - O.Z) / D.Z - Oz;
+
+    Index BX, BY, BZ;
+    Real WX[Shape::Support], WY[Shape::Support], WZ[Shape::Support];
+    Shape::weights(Gx, BX, WX);
+    Shape::weights(Gy, BY, WY);
+    Shape::weights(Gz, BZ, WZ);
+
+    Real Sum = 0;
+    for (int I = 0; I < Shape::Support; ++I)
+      for (int J = 0; J < Shape::Support; ++J)
+        for (int K = 0; K < Shape::Support; ++K)
+          Sum += WX[I] * WY[J] * WZ[K] * F(BX + I, BY + J, BZ + K);
+    return Sum;
+  }
+
+  const YeeGrid<Real> *Grid;
+};
+
+} // namespace pic
+} // namespace hichi
+
+#endif // HICHI_PIC_FIELDINTERPOLATOR_H

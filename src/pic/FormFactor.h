@@ -1,0 +1,92 @@
+//===-- pic/FormFactor.h - Macroparticle shape functions --------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Macroparticle form factors (paper Section 2: each macroparticle is "a
+/// cloud of real particles, whose distribution is described by a fixed
+/// localized shape function, also referred to as the form factor"). The
+/// three standard orders:
+///
+///   * NGP  (order 0): nearest grid point, 1 node per axis;
+///   * CIC  (order 1): cloud-in-cell / linear, 2 nodes per axis;
+///   * TSC  (order 2): triangular-shaped cloud / quadratic, 3 nodes.
+///
+/// Each shape provides its support size and the weights for one axis
+/// given the particle's fractional position; 3-D weights are tensor
+/// products.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_PIC_FORMFACTOR_H
+#define HICHI_PIC_FORMFACTOR_H
+
+#include "support/Config.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hichi {
+namespace pic {
+
+/// Nearest-grid-point shape (order 0).
+struct NgpShape {
+  static constexpr int Support = 1;
+
+  /// \p X is the position in units of the cell step. \p BaseNode receives
+  /// the first node index; \p W the weights of the Support nodes.
+  template <typename Real>
+  static void weights(Real X, Index &BaseNode, Real W[Support]) {
+    BaseNode = Index(std::floor(X + Real(0.5)));
+    W[0] = Real(1);
+  }
+};
+
+/// Cloud-in-cell shape (order 1, linear).
+struct CicShape {
+  static constexpr int Support = 2;
+
+  template <typename Real>
+  static void weights(Real X, Index &BaseNode, Real W[Support]) {
+    const Real Floor = std::floor(X);
+    BaseNode = Index(Floor);
+    const Real Frac = X - Floor;
+    W[0] = Real(1) - Frac;
+    W[1] = Frac;
+  }
+};
+
+/// Triangular-shaped-cloud shape (order 2, quadratic).
+struct TscShape {
+  static constexpr int Support = 3;
+
+  template <typename Real>
+  static void weights(Real X, Index &BaseNode, Real W[Support]) {
+    // Center node: nearest grid point; delta in [-1/2, 1/2].
+    const Real Center = std::floor(X + Real(0.5));
+    BaseNode = Index(Center) - 1;
+    const Real D = X - Center;
+    W[0] = Real(0.5) * (Real(0.5) - D) * (Real(0.5) - D);
+    W[1] = Real(0.75) - D * D;
+    W[2] = Real(0.5) * (Real(0.5) + D) * (Real(0.5) + D);
+  }
+};
+
+/// \returns the sum of the weights of \p Shape at \p X (must be 1; used by
+/// the property tests).
+template <typename Shape, typename Real> Real weightSum(Real X) {
+  Index Base;
+  Real W[Shape::Support];
+  Shape::weights(X, Base, W);
+  Real Sum = 0;
+  for (int I = 0; I < Shape::Support; ++I)
+    Sum += W[I];
+  return Sum;
+}
+
+} // namespace pic
+} // namespace hichi
+
+#endif // HICHI_PIC_FORMFACTOR_H

@@ -1,0 +1,142 @@
+//===-- pic/YeeGrid.h - Staggered field grid --------------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staggered (Yee 1966) field grid the FDTD Maxwell solver operates
+/// on — the "grid field data" substrate of the PIC method (paper
+/// Section 2; the paper's Ref. [9] is the FDTD standard text). Component
+/// placement within cell (i, j, k) of step (dx, dy, dz):
+///
+///   Ex (i+1/2, j,     k    )     Bx (i,     j+1/2, k+1/2)
+///   Ey (i,     j+1/2, k    )     By (i+1/2, j,     k+1/2)
+///   Ez (i,     j,     k+1/2)     Bz (i+1/2, j+1/2, k    )
+///
+/// All boundaries are periodic. Current density J lives at the E points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_PIC_YEEGRID_H
+#define HICHI_PIC_YEEGRID_H
+
+#include "fields/FieldGrid.h"
+#include "support/AlignedAllocator.h"
+#include "support/Constants.h"
+
+#include <cassert>
+#include <vector>
+
+namespace hichi {
+namespace pic {
+
+/// One scalar field component on a periodic 3-D lattice.
+template <typename Real> class ScalarLattice {
+public:
+  ScalarLattice() = default;
+  explicit ScalarLattice(GridSize Size)
+      : Size(Size), Data(std::size_t(Size.count()), Real(0)) {}
+
+  GridSize size() const { return Size; }
+
+  static Index wrap(Index I, Index N) {
+    I %= N;
+    return I < 0 ? I + N : I;
+  }
+
+  /// Periodic element access.
+  Real &operator()(Index I, Index J, Index K) {
+    return Data[index(I, J, K)];
+  }
+  Real operator()(Index I, Index J, Index K) const {
+    return Data[index(I, J, K)];
+  }
+
+  void fill(Real V) { Data.assign(Data.size(), V); }
+
+  /// Sum of squares over all nodes (energy diagnostics).
+  double sumOfSquares() const {
+    double Total = 0;
+    for (Real V : Data)
+      Total += double(V) * double(V);
+    return Total;
+  }
+
+  std::vector<Real, AlignedAllocator<Real>> &raw() { return Data; }
+  const std::vector<Real, AlignedAllocator<Real>> &raw() const { return Data; }
+
+private:
+  std::size_t index(Index I, Index J, Index K) const {
+    return std::size_t(
+        (wrap(I, Size.Nx) * Size.Ny + wrap(J, Size.Ny)) * Size.Nz +
+        wrap(K, Size.Nz));
+  }
+
+  GridSize Size;
+  std::vector<Real, AlignedAllocator<Real>> Data;
+};
+
+/// The full staggered grid: E, B and J components plus geometry.
+template <typename Real> class YeeGrid {
+public:
+  YeeGrid(GridSize Size, Vector3<Real> Origin, Vector3<Real> Step)
+      : Ex(Size), Ey(Size), Ez(Size), Bx(Size), By(Size), Bz(Size),
+        Jx(Size), Jy(Size), Jz(Size), Size_(Size), Origin_(Origin),
+        Step_(Step) {
+    assert(Size.Nx > 0 && Size.Ny > 0 && Size.Nz > 0 && "degenerate grid");
+  }
+
+  GridSize size() const { return Size_; }
+  Vector3<Real> origin() const { return Origin_; }
+  Vector3<Real> step() const { return Step_; }
+
+  /// Physical extent of the periodic box.
+  Vector3<Real> extent() const {
+    return Vector3<Real>(Real(Size_.Nx) * Step_.X, Real(Size_.Ny) * Step_.Y,
+                         Real(Size_.Nz) * Step_.Z);
+  }
+
+  /// Wraps a particle position into the periodic box.
+  Vector3<Real> wrapPosition(Vector3<Real> P) const {
+    const Vector3<Real> L = extent();
+    auto Wrap1 = [](Real X, Real O, Real Len) {
+      Real R = std::fmod(X - O, Len);
+      if (R < Real(0))
+        R += Len;
+      return O + R;
+    };
+    return Vector3<Real>(Wrap1(P.X, Origin_.X, L.X), Wrap1(P.Y, Origin_.Y, L.Y),
+                         Wrap1(P.Z, Origin_.Z, L.Z));
+  }
+
+  void clearCurrent() {
+    Jx.fill(Real(0));
+    Jy.fill(Real(0));
+    Jz.fill(Real(0));
+  }
+
+  /// Field energy [erg] = sum (E^2 + B^2)/(8 pi) dV over the lattice.
+  double fieldEnergy() const {
+    const double CellVolume = double(Step_.X) * double(Step_.Y) *
+                              double(Step_.Z);
+    const double Sum = Ex.sumOfSquares() + Ey.sumOfSquares() +
+                       Ez.sumOfSquares() + Bx.sumOfSquares() +
+                       By.sumOfSquares() + Bz.sumOfSquares();
+    return Sum * CellVolume / (8.0 * constants::Pi);
+  }
+
+  ScalarLattice<Real> Ex, Ey, Ez;
+  ScalarLattice<Real> Bx, By, Bz;
+  ScalarLattice<Real> Jx, Jy, Jz;
+
+private:
+  GridSize Size_;
+  Vector3<Real> Origin_;
+  Vector3<Real> Step_;
+};
+
+} // namespace pic
+} // namespace hichi
+
+#endif // HICHI_PIC_YEEGRID_H

@@ -1,0 +1,147 @@
+//===-- support/ArgParse.h - Minimal command-line parsing ------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal declarative command-line parser for the tools and examples:
+/// `--name value` / `--name=value` options with typed accessors, a help
+/// listing, and unknown-option detection. Deliberately tiny — the tools
+/// here have a handful of flags each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SUPPORT_ARGPARSE_H
+#define HICHI_SUPPORT_ARGPARSE_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hichi {
+
+/// Declarative option set + parsed values.
+class ArgParser {
+public:
+  explicit ArgParser(std::string ProgramDescription)
+      : Description(std::move(ProgramDescription)) {}
+
+  /// Declares an option; \p Name without the leading dashes.
+  void addOption(const std::string &Name, const std::string &Help,
+                 const std::string &Default = "") {
+    Order.push_back(Name);
+    Options[Name] = OptionInfo{Help, Default, "", false};
+  }
+
+  /// Parses argv. \returns false (and records an error message) on an
+  /// unknown or malformed option; positional arguments are collected.
+  bool parse(int Argc, const char *const *Argv) {
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--", 0) != 0) {
+        Positional.push_back(Arg);
+        continue;
+      }
+      std::string Name = Arg.substr(2);
+      std::string Value;
+      if (auto Eq = Name.find('='); Eq != std::string::npos) {
+        Value = Name.substr(Eq + 1);
+        Name = Name.substr(0, Eq);
+      } else if (Name == "help") {
+        HelpRequested = true;
+        continue;
+      } else {
+        if (I + 1 >= Argc) {
+          Error = "option --" + Name + " expects a value";
+          return false;
+        }
+        Value = Argv[++I];
+      }
+      auto It = Options.find(Name);
+      if (It == Options.end()) {
+        Error = "unknown option --" + Name;
+        return false;
+      }
+      It->second.Value = Value;
+      It->second.Seen = true;
+    }
+    return true;
+  }
+
+  bool helpRequested() const { return HelpRequested; }
+  const std::string &error() const { return Error; }
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// True if the user supplied the option explicitly.
+  bool seen(const std::string &Name) const {
+    auto It = Options.find(Name);
+    return It != Options.end() && It->second.Seen;
+  }
+
+  std::string getString(const std::string &Name) const {
+    auto It = Options.find(Name);
+    if (It == Options.end())
+      return "";
+    return It->second.Seen ? It->second.Value : It->second.Default;
+  }
+
+  /// \returns the option as a long, or std::nullopt if not parseable.
+  std::optional<long> getInt(const std::string &Name) const {
+    std::string V = getString(Name);
+    if (V.empty())
+      return std::nullopt;
+    char *End = nullptr;
+    long Parsed = std::strtol(V.c_str(), &End, 10);
+    if (End == V.c_str() || *End != '\0')
+      return std::nullopt;
+    return Parsed;
+  }
+
+  /// \returns the option as a double, or std::nullopt if not parseable.
+  std::optional<double> getDouble(const std::string &Name) const {
+    std::string V = getString(Name);
+    if (V.empty())
+      return std::nullopt;
+    char *End = nullptr;
+    double Parsed = std::strtod(V.c_str(), &End);
+    if (End == V.c_str() || *End != '\0')
+      return std::nullopt;
+    return Parsed;
+  }
+
+  /// Prints the option listing to stdout.
+  void printHelp(const char *Program) const {
+    std::printf("%s\n\nusage: %s [--option value]...\n\noptions:\n",
+                Description.c_str(), Program);
+    for (const std::string &Name : Order) {
+      const OptionInfo &Info = Options.at(Name);
+      std::printf("  --%-18s %s%s%s%s\n", Name.c_str(), Info.Help.c_str(),
+                  Info.Default.empty() ? "" : " (default: ",
+                  Info.Default.c_str(), Info.Default.empty() ? "" : ")");
+    }
+    std::printf("  --%-18s %s\n", "help", "show this message");
+  }
+
+private:
+  struct OptionInfo {
+    std::string Help;
+    std::string Default;
+    std::string Value;
+    bool Seen = false;
+  };
+
+  std::string Description;
+  std::vector<std::string> Order;
+  std::map<std::string, OptionInfo> Options;
+  std::vector<std::string> Positional;
+  std::string Error;
+  bool HelpRequested = false;
+};
+
+} // namespace hichi
+
+#endif // HICHI_SUPPORT_ARGPARSE_H

@@ -1,0 +1,29 @@
+//===-- support/CpuTopology.cpp - CPU/NUMA topology detection ------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CpuTopology.h"
+
+#include "support/EnvVar.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace hichi;
+
+CpuTopology CpuTopology::detect() {
+  if (auto Spec = getEnvString("HICHI_TOPOLOGY")) {
+    int Domains = 0, Cores = 0;
+    if (std::sscanf(Spec->c_str(), "%dx%d", &Domains, &Cores) == 2 &&
+        Domains > 0 && Cores > 0)
+      return CpuTopology(Domains, Cores);
+    // Fall through to detection on a malformed override rather than abort:
+    // a typo in an env var should not kill a long benchmark run.
+  }
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  return CpuTopology(/*Domains=*/1, /*CoresPerDomain=*/int(Hw));
+}

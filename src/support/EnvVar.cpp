@@ -1,0 +1,36 @@
+//===-- support/EnvVar.cpp - Environment variable parsing ----------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EnvVar.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+using namespace hichi;
+
+std::optional<std::string> hichi::getEnvString(const char *Name) {
+  const char *Value = std::getenv(Name);
+  if (!Value)
+    return std::nullopt;
+  return std::string(Value);
+}
+
+std::optional<long> hichi::getEnvInt(const char *Name) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return std::nullopt;
+  char *End = nullptr;
+  errno = 0;
+  long Parsed = std::strtol(Value, &End, 10);
+  if (errno != 0 || End == Value || *End != '\0')
+    return std::nullopt;
+  return Parsed;
+}
+
+bool hichi::envEquals(const char *Name, const char *Value) {
+  const char *Actual = std::getenv(Name);
+  return Actual && std::string(Actual) == Value;
+}

@@ -1,0 +1,37 @@
+//===-- support/EnvVar.h - Environment variable parsing --------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed environment variable access. The miniSYCL runtime is configured
+/// the way the paper configures DPC++: through environment variables
+/// (Section 4.3 uses DPCPP_CPU_PLACES=numa_domains; we use the MINISYCL_
+/// prefix, see minisycl/queue.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SUPPORT_ENVVAR_H
+#define HICHI_SUPPORT_ENVVAR_H
+
+#include <optional>
+#include <string>
+
+namespace hichi {
+
+/// \returns the value of environment variable \p Name, or std::nullopt if
+/// it is unset.
+std::optional<std::string> getEnvString(const char *Name);
+
+/// \returns the integer value of \p Name, or std::nullopt if unset or not
+/// parseable as a base-10 integer.
+std::optional<long> getEnvInt(const char *Name);
+
+/// \returns true iff \p Name is set to exactly \p Value (case-sensitive,
+/// matching how DPC++ treats DPCPP_CPU_PLACES).
+bool envEquals(const char *Name, const char *Value);
+
+} // namespace hichi
+
+#endif // HICHI_SUPPORT_ENVVAR_H

@@ -1,0 +1,160 @@
+//===-- support/Fft.h - Radix-2 complex FFT ---------------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained iterative radix-2 Cooley-Tukey FFT (power-of-two
+/// sizes), plus a real-signal convenience wrapper and 3-D transforms over
+/// contiguous lattices. This is the substrate for the spectral (PSATD
+/// flavour) Maxwell solver — the paper's Section 2 names "FDTD or
+/// FFT-based techniques" as the two standard field solvers, and Hi-Chi
+/// ships both.
+///
+/// No external FFT dependency: the evaluation environment is offline.
+/// Performance is O(N log N) with precomputed twiddles; adequate for the
+/// solver grids used here (the pusher, not the solver, is the paper's
+/// hot spot).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SUPPORT_FFT_H
+#define HICHI_SUPPORT_FFT_H
+
+#include "support/Config.h"
+#include "support/Constants.h"
+#include "support/Logging.h"
+
+#include <cassert>
+#include <complex>
+#include <vector>
+
+namespace hichi {
+
+/// \returns true if \p N is a power of two (and nonzero).
+constexpr bool isPowerOfTwo(std::size_t N) {
+  return N != 0 && (N & (N - 1)) == 0;
+}
+
+/// In-place iterative radix-2 FFT over \p Data (size must be a power of
+/// two). \p Inverse selects the inverse transform, *including* the 1/N
+/// normalization (so forward-then-inverse is the identity).
+template <typename Real>
+void fftInPlace(std::vector<std::complex<Real>> &Data, bool Inverse) {
+  const std::size_t N = Data.size();
+  if (N <= 1)
+    return;
+  if (!isPowerOfTwo(N))
+    fatalError("fftInPlace requires a power-of-two size");
+
+  // Bit-reversal permutation.
+  for (std::size_t I = 1, J = 0; I < N; ++I) {
+    std::size_t Bit = N >> 1;
+    for (; J & Bit; Bit >>= 1)
+      J ^= Bit;
+    J ^= Bit;
+    if (I < J)
+      std::swap(Data[I], Data[J]);
+  }
+
+  // Butterflies with per-stage twiddle recurrence.
+  for (std::size_t Len = 2; Len <= N; Len <<= 1) {
+    const Real Angle = Real(2) * Real(constants::Pi) / Real(Len) *
+                       (Inverse ? Real(1) : Real(-1));
+    const std::complex<Real> WLen(std::cos(Angle), std::sin(Angle));
+    for (std::size_t I = 0; I < N; I += Len) {
+      std::complex<Real> W(1);
+      for (std::size_t J = 0; J < Len / 2; ++J) {
+        std::complex<Real> U = Data[I + J];
+        std::complex<Real> V = Data[I + J + Len / 2] * W;
+        Data[I + J] = U + V;
+        Data[I + J + Len / 2] = U - V;
+        W *= WLen;
+      }
+    }
+  }
+
+  if (Inverse) {
+    const Real Scale = Real(1) / Real(N);
+    for (auto &X : Data)
+      X *= Scale;
+  }
+}
+
+/// Forward FFT of a real signal; \returns the full complex spectrum.
+template <typename Real>
+std::vector<std::complex<Real>> fftReal(const std::vector<Real> &Signal) {
+  std::vector<std::complex<Real>> Data(Signal.begin(), Signal.end());
+  fftInPlace(Data, /*Inverse=*/false);
+  return Data;
+}
+
+/// The angular frequency (in sample^-1 units) of FFT bin \p K of \p N
+/// samples: positive for K < N/2, negative above (standard wrap).
+template <typename Real> Real fftFrequency(std::size_t K, std::size_t N) {
+  const std::size_t Half = N / 2;
+  const auto Signed = K <= Half ? std::ptrdiff_t(K)
+                                : std::ptrdiff_t(K) - std::ptrdiff_t(N);
+  return Real(2) * Real(constants::Pi) * Real(Signed) / Real(N);
+}
+
+/// 3-D in-place FFT over a contiguous row-major Nx x Ny x Nz lattice.
+/// All three extents must be powers of two.
+template <typename Real> class Fft3D {
+public:
+  Fft3D(std::size_t Nx, std::size_t Ny, std::size_t Nz)
+      : Nx(Nx), Ny(Ny), Nz(Nz) {
+    if (!isPowerOfTwo(Nx) || !isPowerOfTwo(Ny) || !isPowerOfTwo(Nz))
+      fatalError("Fft3D extents must be powers of two");
+  }
+
+  std::size_t size() const { return Nx * Ny * Nz; }
+
+  /// Transforms \p Data (size Nx*Ny*Nz, row-major) in place.
+  void transform(std::vector<std::complex<Real>> &Data, bool Inverse) const {
+    assert(Data.size() == size() && "lattice size mismatch");
+    std::vector<std::complex<Real>> Line;
+
+    // Along z: contiguous lines.
+    Line.resize(Nz);
+    for (std::size_t I = 0; I < Nx; ++I)
+      for (std::size_t J = 0; J < Ny; ++J) {
+        const std::size_t Base = (I * Ny + J) * Nz;
+        for (std::size_t K = 0; K < Nz; ++K)
+          Line[K] = Data[Base + K];
+        fftInPlace(Line, Inverse);
+        for (std::size_t K = 0; K < Nz; ++K)
+          Data[Base + K] = Line[K];
+      }
+
+    // Along y.
+    Line.resize(Ny);
+    for (std::size_t I = 0; I < Nx; ++I)
+      for (std::size_t K = 0; K < Nz; ++K) {
+        for (std::size_t J = 0; J < Ny; ++J)
+          Line[J] = Data[(I * Ny + J) * Nz + K];
+        fftInPlace(Line, Inverse);
+        for (std::size_t J = 0; J < Ny; ++J)
+          Data[(I * Ny + J) * Nz + K] = Line[J];
+      }
+
+    // Along x.
+    Line.resize(Nx);
+    for (std::size_t J = 0; J < Ny; ++J)
+      for (std::size_t K = 0; K < Nz; ++K) {
+        for (std::size_t I = 0; I < Nx; ++I)
+          Line[I] = Data[(I * Ny + J) * Nz + K];
+        fftInPlace(Line, Inverse);
+        for (std::size_t I = 0; I < Nx; ++I)
+          Data[(I * Ny + J) * Nz + K] = Line[I];
+      }
+  }
+
+private:
+  std::size_t Nx, Ny, Nz;
+};
+
+} // namespace hichi
+
+#endif // HICHI_SUPPORT_FFT_H

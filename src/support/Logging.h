@@ -1,0 +1,41 @@
+//===-- support/Logging.h - Fatal errors and diagnostics -------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error reporting helpers. The library does not use exceptions (see
+/// DESIGN.md, decision 5): unrecoverable conditions print a message to
+/// stderr and abort, recoverable conditions are status returns at the API
+/// boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SUPPORT_LOGGING_H
+#define HICHI_SUPPORT_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hichi {
+
+/// Prints \p Message to stderr and aborts. Never returns.
+[[noreturn]] inline void fatalError(const char *Message) {
+  std::fprintf(stderr, "hichi fatal error: %s\n", Message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Marks a code path that must be unreachable; aborts with \p Message in
+/// all build modes (this project keeps the check in release builds too —
+/// the kernels are the hot path, not the dispatch code that uses this).
+[[noreturn]] inline void unreachable(const char *Message) {
+  std::fprintf(stderr, "hichi unreachable reached: %s\n", Message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace hichi
+
+#endif // HICHI_SUPPORT_LOGGING_H

@@ -1,0 +1,82 @@
+//===-- support/Statistics.h - Streaming summary statistics ----*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming summary statistics (Welford) and small-sample helpers used by
+/// the benchmark harness: the paper reports the average of 10 measured
+/// iterations, and we additionally report min/median/stddev so that noise
+/// on the shared CI host is visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SUPPORT_STATISTICS_H
+#define HICHI_SUPPORT_STATISTICS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace hichi {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+public:
+  void add(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / double(N);
+    M2 += Delta * (X - Mean);
+    if (N == 1 || X < Min)
+      Min = X;
+    if (N == 1 || X > Max)
+      Max = X;
+  }
+
+  std::size_t count() const { return N; }
+  double mean() const { return Mean; }
+
+  /// Sample variance (N-1 denominator); zero for fewer than two samples.
+  double variance() const { return N < 2 ? 0.0 : M2 / double(N - 1); }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return Min; }
+  double max() const { return Max; }
+
+private:
+  std::size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// \returns the median of \p Values (by copy; fine for benchmark-sized
+/// sample sets).
+inline double median(std::vector<double> Values) {
+  assert(!Values.empty() && "median of empty sample");
+  std::size_t Mid = Values.size() / 2;
+  std::nth_element(Values.begin(), Values.begin() + Mid, Values.end());
+  double Hi = Values[Mid];
+  if (Values.size() % 2 == 1)
+    return Hi;
+  std::nth_element(Values.begin(), Values.begin() + Mid - 1,
+                   Values.begin() + Mid);
+  return 0.5 * (Hi + Values[Mid - 1]);
+}
+
+/// Relative difference |A-B| / max(|A|,|B|), with 0/0 -> 0. Used by the
+/// equivalence tests comparing implementations.
+inline double relativeDifference(double A, double B) {
+  double Scale = std::max(std::abs(A), std::abs(B));
+  if (Scale == 0.0)
+    return 0.0;
+  return std::abs(A - B) / Scale;
+}
+
+} // namespace hichi
+
+#endif // HICHI_SUPPORT_STATISTICS_H

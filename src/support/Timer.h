@@ -1,0 +1,55 @@
+//===-- support/Timer.h - Wall clock timing ---------------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock stopwatch used by the benchmark harness to compute the
+/// paper's NSPS metric (nanoseconds per particle per step, Section 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SUPPORT_TIMER_H
+#define HICHI_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace hichi {
+
+/// A steady-clock stopwatch.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns nanoseconds elapsed since construction or the last reset().
+  std::int64_t elapsedNanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                Start)
+        .count();
+  }
+
+  /// \returns seconds elapsed since construction or the last reset().
+  double elapsedSeconds() const {
+    return double(elapsedNanoseconds()) * 1e-9;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Computes the paper's NSPS metric: average iteration time in nanoseconds
+/// divided by the particle count and by the steps per iteration.
+inline double nsPerParticlePerStep(double TotalNanoseconds, double Iterations,
+                                   double Particles, double StepsPerIteration) {
+  return TotalNanoseconds / Iterations / Particles / StepsPerIteration;
+}
+
+} // namespace hichi
+
+#endif // HICHI_SUPPORT_TIMER_H

@@ -1,0 +1,99 @@
+//===-- support/Units.h - Laser-plasma unit conversions ---------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conversions between the CGS quantities the solver uses and the units
+/// the laser-plasma literature quotes: laser intensity [W/cm^2], the
+/// dimensionless field amplitude a0, critical density, plasma frequency,
+/// and energy in eV/MeV. The paper's discussion of "relativistic fields"
+/// (powers above ~4 GW focused to a wavelength make a0 >~ 1) is exactly
+/// this arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SUPPORT_UNITS_H
+#define HICHI_SUPPORT_UNITS_H
+
+#include "support/Constants.h"
+
+#include <cmath>
+
+namespace hichi {
+namespace units {
+
+/// Watts -> erg/s.
+inline constexpr double wattsToErgPerSec(double Watts) { return Watts * 1e7; }
+
+/// erg -> eV.
+inline constexpr double ergToEv(double Erg) {
+  return Erg / constants::ElectronVolt;
+}
+
+/// Electron rest energy [erg] (~511 keV).
+inline double electronRestEnergy() {
+  return constants::ElectronMass * constants::LightVelocity *
+         constants::LightVelocity;
+}
+
+/// gamma -> kinetic energy in MeV for an electron.
+inline double gammaToMev(double Gamma) {
+  return ergToEv((Gamma - 1.0) * electronRestEnergy()) * 1e-6;
+}
+
+/// Plasma frequency omega_p = sqrt(4 pi n e^2 / m) [rad/s] of electron
+/// density \p NumberDensityPerCm3.
+inline double plasmaFrequency(double NumberDensityPerCm3) {
+  return std::sqrt(4.0 * constants::Pi * NumberDensityPerCm3 *
+                   constants::ElementaryCharge *
+                   constants::ElementaryCharge / constants::ElectronMass);
+}
+
+/// Critical density [cm^-3] for light of wavelength \p WavelengthCm: the
+/// density whose plasma frequency equals the light frequency.
+inline double criticalDensity(double WavelengthCm) {
+  double Omega =
+      2.0 * constants::Pi * constants::LightVelocity / WavelengthCm;
+  return Omega * Omega * constants::ElectronMass /
+         (4.0 * constants::Pi * constants::ElementaryCharge *
+          constants::ElementaryCharge);
+}
+
+/// Peak electric field [statvolt/cm] of a plane wave of intensity
+/// \p IntensityWPerCm2 [W/cm^2]: I = c E^2 / (8 pi) for linear
+/// polarization.
+inline double intensityToPeakField(double IntensityWPerCm2) {
+  double IntensityCgs = wattsToErgPerSec(IntensityWPerCm2); // erg/s/cm^2
+  return std::sqrt(8.0 * constants::Pi * IntensityCgs /
+                   constants::LightVelocity);
+}
+
+/// The dimensionless (normalized) amplitude a0 = e E / (m c omega) of a
+/// field \p FieldCgs at wavelength \p WavelengthCm; a0 >= 1 marks the
+/// relativistic regime.
+inline double normalizedAmplitude(double FieldCgs, double WavelengthCm) {
+  double Omega =
+      2.0 * constants::Pi * constants::LightVelocity / WavelengthCm;
+  return constants::ElementaryCharge * FieldCgs /
+         (constants::ElectronMass * constants::LightVelocity * Omega);
+}
+
+/// a0 for a given intensity [W/cm^2] and wavelength [cm]. The familiar
+/// engineering form: a0 ~ 0.85 sqrt(I / 1e18 W/cm^2) at 1 um.
+inline double intensityToA0(double IntensityWPerCm2, double WavelengthCm) {
+  return normalizedAmplitude(intensityToPeakField(IntensityWPerCm2),
+                             WavelengthCm);
+}
+
+/// Peak intensity [W/cm^2] of power \p PowerW focused to a spot of
+/// radius \p SpotRadiusCm (flat-top estimate).
+inline double powerToIntensity(double PowerW, double SpotRadiusCm) {
+  return PowerW / (constants::Pi * SpotRadiusCm * SpotRadiusCm);
+}
+
+} // namespace units
+} // namespace hichi
+
+#endif // HICHI_SUPPORT_UNITS_H

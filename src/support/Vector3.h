@@ -1,0 +1,166 @@
+//===-- support/Vector3.h - 3-component vector ------------------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector3<Real>: the paper's `FP3` type, a vector of three floating point
+/// components used for positions, momenta, velocities and field values.
+///
+/// All operations are componentwise and branch-free; the type is a trivial
+/// aggregate so that arrays of it are tightly packed (the AoS layout depends
+/// on this) and so it can be captured by copy into minisycl kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SUPPORT_VECTOR3_H
+#define HICHI_SUPPORT_VECTOR3_H
+
+#include "support/Config.h"
+
+#include <cassert>
+#include <cmath>
+#include <type_traits>
+
+namespace hichi {
+
+/// A trivially copyable vector of three scalar components.
+template <typename Real> struct Vector3 {
+  Real X = Real(0);
+  Real Y = Real(0);
+  Real Z = Real(0);
+
+  constexpr Vector3() = default;
+  constexpr Vector3(Real X, Real Y, Real Z) : X(X), Y(Y), Z(Z) {}
+
+  /// Broadcasts one scalar to all three components.
+  static constexpr Vector3 splat(Real V) { return Vector3(V, V, V); }
+
+  static constexpr Vector3 zero() { return Vector3(); }
+  static constexpr Vector3 unitX() { return Vector3(1, 0, 0); }
+  static constexpr Vector3 unitY() { return Vector3(0, 1, 0); }
+  static constexpr Vector3 unitZ() { return Vector3(0, 0, 1); }
+
+  constexpr Real operator[](int I) const {
+    assert(I >= 0 && I < 3 && "Vector3 index out of range");
+    return I == 0 ? X : (I == 1 ? Y : Z);
+  }
+
+  /// Mutable component access; used by the SoA<->AoS converters.
+  constexpr Real &component(int I) {
+    assert(I >= 0 && I < 3 && "Vector3 index out of range");
+    return I == 0 ? X : (I == 1 ? Y : Z);
+  }
+
+  constexpr Vector3 operator-() const { return Vector3(-X, -Y, -Z); }
+
+  constexpr Vector3 &operator+=(const Vector3 &R) {
+    X += R.X;
+    Y += R.Y;
+    Z += R.Z;
+    return *this;
+  }
+  constexpr Vector3 &operator-=(const Vector3 &R) {
+    X -= R.X;
+    Y -= R.Y;
+    Z -= R.Z;
+    return *this;
+  }
+  constexpr Vector3 &operator*=(Real S) {
+    X *= S;
+    Y *= S;
+    Z *= S;
+    return *this;
+  }
+  constexpr Vector3 &operator/=(Real S) {
+    X /= S;
+    Y /= S;
+    Z /= S;
+    return *this;
+  }
+
+  friend constexpr Vector3 operator+(Vector3 L, const Vector3 &R) {
+    return L += R;
+  }
+  friend constexpr Vector3 operator-(Vector3 L, const Vector3 &R) {
+    return L -= R;
+  }
+  friend constexpr Vector3 operator*(Vector3 L, Real S) { return L *= S; }
+  friend constexpr Vector3 operator*(Real S, Vector3 R) { return R *= S; }
+  friend constexpr Vector3 operator/(Vector3 L, Real S) { return L /= S; }
+
+  /// Componentwise (Hadamard) product; used by grid index scaling.
+  friend constexpr Vector3 hadamard(const Vector3 &L, const Vector3 &R) {
+    return Vector3(L.X * R.X, L.Y * R.Y, L.Z * R.Z);
+  }
+
+  friend constexpr bool operator==(const Vector3 &L, const Vector3 &R) {
+    return L.X == R.X && L.Y == R.Y && L.Z == R.Z;
+  }
+  friend constexpr bool operator!=(const Vector3 &L, const Vector3 &R) {
+    return !(L == R);
+  }
+
+  friend constexpr Real dot(const Vector3 &L, const Vector3 &R) {
+    return L.X * R.X + L.Y * R.Y + L.Z * R.Z;
+  }
+
+  friend constexpr Vector3 cross(const Vector3 &L, const Vector3 &R) {
+    return Vector3(L.Y * R.Z - L.Z * R.Y, L.Z * R.X - L.X * R.Z,
+                   L.X * R.Y - L.Y * R.X);
+  }
+
+  constexpr Real norm2() const { return X * X + Y * Y + Z * Z; }
+
+  Real norm() const { return std::sqrt(norm2()); }
+
+  /// \returns the unit vector in this direction; the zero vector maps to
+  /// itself (callers in the field code rely on this to avoid NaNs at the
+  /// coordinate origin of the dipole wave).
+  Vector3 normalized() const {
+    Real N = norm();
+    if (N == Real(0))
+      return Vector3();
+    return *this / N;
+  }
+};
+
+/// Componentwise minimum, used by bounding-box computations in the sorter.
+template <typename Real>
+constexpr Vector3<Real> min(const Vector3<Real> &L, const Vector3<Real> &R) {
+  return Vector3<Real>(L.X < R.X ? L.X : R.X, L.Y < R.Y ? L.Y : R.Y,
+                       L.Z < R.Z ? L.Z : R.Z);
+}
+
+/// Componentwise maximum.
+template <typename Real>
+constexpr Vector3<Real> max(const Vector3<Real> &L, const Vector3<Real> &R) {
+  return Vector3<Real>(L.X > R.X ? L.X : R.X, L.Y > R.Y ? L.Y : R.Y,
+                       L.Z > R.Z ? L.Z : R.Z);
+}
+
+/// Distance between two points.
+template <typename Real>
+Real distance(const Vector3<Real> &A, const Vector3<Real> &B) {
+  return (A - B).norm();
+}
+
+/// Converts the scalar type of a vector (e.g. double field values into a
+/// float particle update).
+template <typename To, typename From>
+constexpr Vector3<To> vectorCast(const Vector3<From> &V) {
+  return Vector3<To>(To(V.X), To(V.Y), To(V.Z));
+}
+
+static_assert(std::is_trivially_copyable_v<Vector3<double>>,
+              "Vector3 must be trivially copyable for USM kernel capture");
+static_assert(sizeof(Vector3<float>) == 12 && sizeof(Vector3<double>) == 24,
+              "Vector3 must be tightly packed for the AoS layout");
+
+/// The paper's `FP3` alias.
+using FP3 = Vector3<FP>;
+
+} // namespace hichi
+
+#endif // HICHI_SUPPORT_VECTOR3_H

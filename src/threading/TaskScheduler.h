@@ -1,0 +1,176 @@
+//===-- threading/TaskScheduler.h - Dynamic (TBB-style) loops --*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamically scheduled parallel loops, the analogue of the TBB runtime
+/// that DPC++ uses on CPUs: "Compared to OpenMP, TBB always uses dynamic
+/// scheduling" (paper, Section 4.3). Chunks of the iteration space are
+/// handed to whichever worker asks next (an atomic ticket counter — the
+/// same load-balancing behaviour as TBB's work stealing for a flat
+/// parallel_for, with the same per-chunk synchronization cost, which is the
+/// overhead the paper measures as the DPC++-vs-OpenMP gap).
+///
+/// The NUMA-arena variant reproduces DPCPP_CPU_PLACES=numa_domains: the
+/// range is split statically across domains, and dynamic scheduling happens
+/// only inside each domain's arena, "ensuring the same particles are
+/// processed on the same CPU at every time step" (Section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_THREADING_TASKSCHEDULER_H
+#define HICHI_THREADING_TASKSCHEDULER_H
+
+#include "support/CpuTopology.h"
+#include "support/Config.h"
+#include "threading/ParallelFor.h"
+#include "threading/ThreadPool.h"
+
+#include <atomic>
+#include <cassert>
+#include <functional>
+#include <memory>
+
+namespace hichi {
+namespace threading {
+
+/// \returns a reasonable dynamic-scheduling grain for \p Size iterations on
+/// \p Width workers: large enough to amortize the atomic per chunk, small
+/// enough to load-balance (~16 chunks per worker, clamped to [64, 1<<16]).
+inline Index defaultGrain(Index Size, int Width) {
+  if (Size <= 0)
+    return 1;
+  Index Grain = Size / (Index(Width) * 16);
+  if (Grain < 64)
+    Grain = 64;
+  if (Grain > (Index(1) << 16))
+    Grain = Index(1) << 16;
+  return Grain;
+}
+
+/// Runs \p Body(i) for i in [Begin, End) with dynamic chunk scheduling of
+/// grain \p Grain on \p Width threads of \p Pool.
+template <typename BodyFn>
+void dynamicParallelFor(ThreadPool &Pool, Index Begin, Index End, int Width,
+                        Index Grain, BodyFn &&Body) {
+  Index Size = End - Begin;
+  if (Size <= 0)
+    return;
+  if (Width <= 1 || Size <= Grain) {
+    for (Index I = Begin; I < End; ++I)
+      Body(I);
+    return;
+  }
+  assert(Grain > 0 && "grain must be positive");
+
+  // A cache-line-private ticket counter: workers fetch the next chunk with
+  // one atomic add. This is the entire dynamic-scheduling overhead.
+  alignas(64) std::atomic<Index> Next{Begin};
+
+  std::function<void(int)> Task = [&](int) {
+    for (;;) {
+      Index ChunkBegin = Next.fetch_add(Grain, std::memory_order_relaxed);
+      if (ChunkBegin >= End)
+        return;
+      Index ChunkEnd = ChunkBegin + Grain < End ? ChunkBegin + Grain : End;
+      for (Index I = ChunkBegin; I < ChunkEnd; ++I)
+        Body(I);
+    }
+  };
+  Pool.run(Width, Task);
+}
+
+/// Dynamic parallel-for with the default grain.
+template <typename BodyFn>
+void dynamicParallelFor(ThreadPool &Pool, Index Begin, Index End, int Width,
+                        BodyFn &&Body) {
+  dynamicParallelFor(Pool, Begin, End, Width,
+                     defaultGrain(End - Begin, Width),
+                     std::forward<BodyFn>(Body));
+}
+
+/// NUMA-arena scheduling: splits [Begin, End) statically across the NUMA
+/// domains of \p Topology, then schedules dynamically inside each domain
+/// using only that domain's workers. Worker w of the pool is assumed bound
+/// to core w (ThreadPool binds when possible), so domain membership is
+/// Topology.domainOfCore(w).
+template <typename BodyFn>
+void numaParallelFor(ThreadPool &Pool, const CpuTopology &Topology,
+                     Index Begin, Index End, int Width, Index Grain,
+                     BodyFn &&Body) {
+  Index Size = End - Begin;
+  if (Size <= 0)
+    return;
+  if (Width > Topology.coreCount())
+    Width = Topology.coreCount();
+  if (Width <= 1 || Size <= Grain) {
+    for (Index I = Begin; I < End; ++I)
+      Body(I);
+    return;
+  }
+
+  // Count participating workers per domain for proportional range splits.
+  const int Domains = Topology.domainCount();
+  std::vector<int> WorkersInDomain(std::size_t(Domains), 0);
+  for (int W = 0; W < Width; ++W)
+    ++WorkersInDomain[size_t(Topology.domainOfCore(W))];
+
+  // Static split of the range proportional to each domain's worker share;
+  // domains with no participating workers get an empty slice.
+  std::vector<IndexRange> DomainRange{size_t(Domains), IndexRange{}};
+  Index Cursor = Begin;
+  int WorkersSeen = 0;
+  for (int D = 0; D < Domains; ++D) {
+    WorkersSeen += WorkersInDomain[size_t(D)];
+    Index SliceEnd = Begin + Size * WorkersSeen / Width;
+    DomainRange[size_t(D)] = {Cursor, SliceEnd};
+    Cursor = SliceEnd;
+  }
+  assert(Cursor == End && "domain slices must cover the range");
+
+  // One ticket counter per domain, padded to avoid false sharing between
+  // arenas (that would reintroduce exactly the cross-socket traffic the
+  // arenas exist to remove).
+  struct alignas(64) Ticket {
+    std::atomic<Index> Next;
+  };
+  std::vector<std::unique_ptr<Ticket>> Tickets;
+  Tickets.reserve(size_t(Domains));
+  for (int D = 0; D < Domains; ++D) {
+    Tickets.push_back(std::make_unique<Ticket>());
+    Tickets.back()->Next.store(DomainRange[size_t(D)].Begin,
+                               std::memory_order_relaxed);
+  }
+
+  std::function<void(int)> Task = [&](int Worker) {
+    int D = Topology.domainOfCore(Worker);
+    IndexRange Range = DomainRange[size_t(D)];
+    std::atomic<Index> &Next = Tickets[size_t(D)]->Next;
+    for (;;) {
+      Index ChunkBegin = Next.fetch_add(Grain, std::memory_order_relaxed);
+      if (ChunkBegin >= Range.End)
+        return;
+      Index ChunkEnd =
+          ChunkBegin + Grain < Range.End ? ChunkBegin + Grain : Range.End;
+      for (Index I = ChunkBegin; I < ChunkEnd; ++I)
+        Body(I);
+    }
+  };
+  Pool.run(Width, Task);
+}
+
+/// NUMA-arena parallel-for with the default grain.
+template <typename BodyFn>
+void numaParallelFor(ThreadPool &Pool, const CpuTopology &Topology,
+                     Index Begin, Index End, int Width, BodyFn &&Body) {
+  numaParallelFor(Pool, Topology, Begin, End, Width,
+                  defaultGrain(End - Begin, Width),
+                  std::forward<BodyFn>(Body));
+}
+
+} // namespace threading
+} // namespace hichi
+
+#endif // HICHI_THREADING_TASKSCHEDULER_H

@@ -1,0 +1,127 @@
+//===-- threading/ThreadPool.cpp - Persistent worker pool ----------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "threading/ThreadPool.h"
+
+#include "support/CpuTopology.h"
+#include "support/Logging.h"
+
+#include <cassert>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+using namespace hichi;
+using namespace hichi::threading;
+
+/// Pins the calling thread to \p Core if the host has that many cores;
+/// silently does nothing otherwise (correctness never depends on pinning).
+static void tryBindToCore(int Core) {
+#if defined(__linux__)
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Core < 0 || unsigned(Core) >= Hw)
+    return;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Core, &Set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+#else
+  (void)Core;
+#endif
+}
+
+ThreadPool::ThreadPool(int ExtraWorkers, bool BindToCores) {
+  assert(ExtraWorkers >= 0 && "negative worker count");
+  if (BindToCores)
+    tryBindToCore(0);
+  Workers.resize(size_t(ExtraWorkers));
+  for (int I = 0; I < ExtraWorkers; ++I)
+    Workers[size_t(I)].Thread =
+        std::thread([this, I, BindToCores] { workerLoop(I + 1, BindToCores); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeCv.notify_all();
+  for (auto &Slot : Workers)
+    if (Slot.Thread.joinable())
+      Slot.Thread.join();
+}
+
+void ThreadPool::run(int Width, const std::function<void(int)> &Body) {
+  if (Width < 1)
+    Width = 1;
+  if (Width > maxWidth())
+    Width = maxWidth();
+
+  if (Width == 1) {
+    Body(0);
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    assert(!InRegion && "ThreadPool::run is not reentrant");
+    InRegion = true;
+    ActiveBody = &Body;
+    ActiveWidth = Width;
+    Outstanding = Width - 1; // workers 1..Width-1
+    ++Epoch;
+  }
+  WakeCv.notify_all();
+
+  Body(0); // the caller is worker 0
+
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    DoneCv.wait(Lock, [this] { return Outstanding == 0; });
+    ActiveBody = nullptr;
+    InRegion = false;
+  }
+}
+
+void ThreadPool::workerLoop(int WorkerIndex, bool BindToCores) {
+  if (BindToCores)
+    tryBindToCore(WorkerIndex);
+
+  std::uint64_t SeenEpoch = 0;
+  for (;;) {
+    const std::function<void(int)> *Body = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeCv.wait(Lock, [&] {
+        return ShuttingDown || (Epoch != SeenEpoch && ActiveBody != nullptr);
+      });
+      if (ShuttingDown)
+        return;
+      SeenEpoch = Epoch;
+      if (WorkerIndex >= ActiveWidth)
+        continue; // not part of this region; wait for the next epoch
+      Body = ActiveBody;
+    }
+
+    (*Body)(WorkerIndex);
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Outstanding == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+ThreadPool &ThreadPool::global() {
+  // Sized to the (possibly HICHI_TOPOLOGY-overridden) topology so that the
+  // NUMA-arena paths have enough workers even on small hosts.
+  static ThreadPool Pool(CpuTopology::detect().coreCount() - 1,
+                         /*BindToCores=*/true);
+  return Pool;
+}

@@ -1,0 +1,242 @@
+//===-- tests/core/BorisPusherTest.cpp - Pusher physics tests ------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Physics validation of the Boris pusher against closed-form solutions
+/// (natural units: c = 1, m = 1, |q| = 1 unless noted):
+///
+///   * pure E field: exact linear momentum growth p(t) = p0 + qEt;
+///   * pure B field: |p| preserved to machine epsilon (the eq. 11-12
+///     property), circular gyro-orbit with the right radius and period;
+///   * E x B drift; relativistic limits; gamma cache consistency.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BorisPusher.h"
+#include "core/ParticleArray.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace hichi;
+
+namespace {
+
+/// Single-particle harness around the proxy interface.
+template <typename Real> class TestParticle {
+public:
+  TestParticle() : Particles(1) {
+    Particles.pushBack(ParticleT<Real>{});
+    Types = ParticleTypeTable<Real>::natural();
+  }
+
+  AosParticleProxy<Real> proxy() { return Particles[0]; }
+
+  template <typename Pusher = BorisPusher>
+  void push(const FieldSample<Real> &F, Real Dt, int Steps = 1) {
+    for (int I = 0; I < Steps; ++I)
+      Pusher::template push<Real>(Particles[0], F, Types.data(), Dt, Real(1));
+  }
+
+  ParticleArrayAoS<Real> Particles;
+  ParticleTypeTable<Real> Types;
+};
+
+//===----------------------------------------------------------------------===//
+// Electric field only
+//===----------------------------------------------------------------------===//
+
+TEST(BorisPusherTest, PureElectricFieldGivesExactImpulse) {
+  TestParticle<double> T;
+  FieldSample<double> F{{0.5, 0, 0}, {0, 0, 0}};
+  const double Dt = 0.1;
+  const int Steps = 100;
+  T.push(F, Dt, Steps);
+  // Electron q = -1: p = q E t exactly (the two half-kicks compose
+  // exactly when B = 0).
+  double Expected = -0.5 * Dt * Steps;
+  EXPECT_NEAR(T.proxy().momentum().X, Expected, 1e-12);
+  EXPECT_NEAR(T.proxy().momentum().Y, 0.0, 1e-15);
+}
+
+TEST(BorisPusherTest, PositionAdvancesWithRelativisticVelocity) {
+  TestParticle<double> T;
+  // Give a known momentum, no fields: uniform motion at v = p/(gamma m).
+  T.Particles[0].setMomentum({3, 0, 0});
+  T.Particles[0].setGamma(std::sqrt(10.0));
+  FieldSample<double> F{{0, 0, 0}, {0, 0, 0}};
+  T.push(F, 0.5, 4);
+  double V = 3.0 / std::sqrt(10.0);
+  EXPECT_NEAR(T.proxy().position().X, V * 2.0, 1e-12);
+}
+
+TEST(BorisPusherTest, GammaCacheMatchesMomentum) {
+  TestParticle<double> T;
+  FieldSample<double> F{{0.3, -0.2, 0.7}, {1, 2, -1}};
+  T.push(F, 0.05, 50);
+  double Expected = lorentzGamma(T.proxy().momentum(), 1.0, 1.0);
+  EXPECT_NEAR(T.proxy().gamma(), Expected, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Magnetic field only: the rotation properties
+//===----------------------------------------------------------------------===//
+
+/// Property sweep: |p| is preserved *exactly* (to rounding) by the
+/// B-rotation for any field strength and any time step — the headline
+/// property of eq. 12-13 ("p^2 is preserved exactly (i.e. independently
+/// of the smallness of the rotation angle)").
+struct RotationCase {
+  double Bz;
+  double Dt;
+};
+
+class MomentumNormTest : public ::testing::TestWithParam<RotationCase> {};
+
+TEST_P(MomentumNormTest, PreservedToMachinePrecision) {
+  TestParticle<double> T;
+  T.Particles[0].setMomentum({1.5, -0.5, 2.0});
+  T.Particles[0].setGamma(lorentzGamma(Vector3<double>(1.5, -0.5, 2.0), 1.0,
+                                       1.0));
+  const double P0 = T.proxy().momentum().norm();
+  FieldSample<double> F{{0, 0, 0}, {0, 0, GetParam().Bz}};
+  T.push(F, GetParam().Dt, 200);
+  EXPECT_NEAR(T.proxy().momentum().norm(), P0, P0 * 1e-13)
+      << "B = " << GetParam().Bz << " dt = " << GetParam().Dt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldAndStepSweep, MomentumNormTest,
+    ::testing::Values(RotationCase{0.1, 0.01}, RotationCase{0.1, 1.0},
+                      RotationCase{1.0, 0.1}, RotationCase{10.0, 0.1},
+                      RotationCase{100.0, 0.5}, RotationCase{1e4, 2.0},
+                      RotationCase{1e-6, 0.001}, RotationCase{3.7, 0.77}));
+
+TEST(BorisPusherTest, GyroOrbitRadiusAndPeriod) {
+  // Non-relativistic electron in Bz: radius r = v gamma m c/(|q| B) and
+  // period T = 2 pi gamma m c/(|q| B). Small v keeps gamma ~ 1.
+  TestParticle<double> T;
+  const double P = 0.01, B = 2.0;
+  T.Particles[0].setMomentum({P, 0, 0});
+  T.Particles[0].setGamma(lorentzGamma(Vector3<double>(P, 0, 0), 1.0, 1.0));
+  const double Gamma = T.proxy().gamma();
+  const double Period = 2 * constants::Pi * Gamma / B;
+  const int Steps = 10000;
+  const double Dt = Period / Steps;
+  FieldSample<double> F{{0, 0, 0}, {0, 0, B}};
+
+  double MaxRadius = 0;
+  Vector3<double> Start = T.proxy().position();
+  T.push(F, Dt, Steps);
+  // After exactly one period the particle returns to its start.
+  EXPECT_NEAR((T.proxy().position() - Start).norm(), 0.0, 1e-5 * P / B);
+
+  // Half a period out, it is a diameter away: 2 r = 2 p/(qB).
+  T.push(F, Dt, Steps / 2);
+  MaxRadius = (T.proxy().position() - Start).norm() / 2.0;
+  EXPECT_NEAR(MaxRadius, P / B, P / B * 1e-3);
+}
+
+TEST(BorisPusherTest, RotationDirectionMatchesChargeSign) {
+  // In Bz > 0, a positron (q > 0) gyrates clockwise (px > 0 -> py < 0
+  // initially under F = q v x B... with v = +x, B = +z: F = q (v x B)
+  // points along -y for q > 0 in Gaussian units v x B = x_hat x z_hat =
+  // -y_hat).
+  TestParticle<double> T;
+  T.Particles[0].setType(PS_Positron);
+  T.Particles[0].setMomentum({0.1, 0, 0});
+  T.Particles[0].setGamma(lorentzGamma(Vector3<double>(0.1, 0, 0), 1.0, 1.0));
+  FieldSample<double> F{{0, 0, 0}, {0, 0, 1.0}};
+  T.push(F, 0.01, 1);
+  EXPECT_LT(T.proxy().momentum().Y, 0.0);
+  // And the electron turns the other way.
+  TestParticle<double> E;
+  E.Particles[0].setMomentum({0.1, 0, 0});
+  E.Particles[0].setGamma(lorentzGamma(Vector3<double>(0.1, 0, 0), 1.0, 1.0));
+  E.push(F, 0.01, 1);
+  EXPECT_GT(E.proxy().momentum().Y, 0.0);
+}
+
+TEST(BorisPusherTest, ParallelMomentumUnaffectedByB) {
+  // p parallel to B is invariant under the rotation.
+  TestParticle<double> T;
+  T.Particles[0].setMomentum({0, 0, 5.0});
+  T.Particles[0].setGamma(lorentzGamma(Vector3<double>(0, 0, 5.0), 1.0, 1.0));
+  FieldSample<double> F{{0, 0, 0}, {0, 0, 3.0}};
+  T.push(F, 0.1, 100);
+  EXPECT_NEAR(T.proxy().momentum().Z, 5.0, 1e-13);
+  EXPECT_NEAR(T.proxy().momentum().X, 0.0, 1e-13);
+}
+
+//===----------------------------------------------------------------------===//
+// Crossed fields
+//===----------------------------------------------------------------------===//
+
+TEST(BorisPusherTest, ExBDriftVelocity) {
+  // E = (0, Ey, 0), B = (0, 0, Bz), Ey < Bz: guiding center drifts at
+  // v_d = c (E x B)/B^2 = (Ey/Bz, 0, 0) * c. Average velocity over many
+  // gyro-periods must approach it.
+  TestParticle<double> T;
+  const double Ey = 0.2, Bz = 1.0;
+  FieldSample<double> F{{0, Ey, 0}, {0, 0, Bz}};
+  const double Dt = 0.02;
+  const int Steps = 200000;
+  T.push(F, Dt, Steps);
+  const double VDrift = Ey / Bz;
+  const double Average = T.proxy().position().X / (Dt * Steps);
+  EXPECT_NEAR(Average, VDrift, 0.02 * VDrift);
+}
+
+TEST(BorisPusherTest, UltraRelativisticElectricAcceleration) {
+  // Strong E for many steps: gamma grows ~ |q E t| / (m c); velocity
+  // saturates at c.
+  TestParticle<double> T;
+  FieldSample<double> F{{100.0, 0, 0}, {0, 0, 0}};
+  const double Dt = 0.1;
+  const int Steps = 1000;
+  T.push(F, Dt, Steps);
+  double P = std::abs(T.proxy().momentum().X);
+  EXPECT_NEAR(P, 100.0 * Dt * Steps, 1e-6);
+  EXPECT_NEAR(T.proxy().gamma(), P, 1.0); // gamma ~ p/(mc) for p >> mc
+  // Speed below c always.
+  double V = P / (T.proxy().gamma() * 1.0);
+  EXPECT_LT(V, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Species coupling
+//===----------------------------------------------------------------------===//
+
+TEST(BorisPusherTest, HeavyParticleAcceleratesSlower) {
+  TestParticle<double> Electron, Proton;
+  Proton.Particles[0].setType(PS_Proton);
+  FieldSample<double> F{{1, 0, 0}, {0, 0, 0}};
+  Electron.push(F, 0.01, 100);
+  Proton.push(F, 0.01, 100);
+  // Same |momentum| change (same |q|), opposite sign, but far smaller
+  // velocity for the proton.
+  EXPECT_NEAR(std::abs(Electron.proxy().momentum().X),
+              std::abs(Proton.proxy().momentum().X), 1e-12);
+  EXPECT_GT(std::abs(Electron.proxy().position().X),
+            100 * std::abs(Proton.proxy().position().X));
+}
+
+//===----------------------------------------------------------------------===//
+// Float precision sanity
+//===----------------------------------------------------------------------===//
+
+TEST(BorisPusherTest, FloatMomentumNormPreserved) {
+  TestParticle<float> T;
+  T.Particles[0].setMomentum({1.0f, 2.0f, -1.0f});
+  T.Particles[0].setGamma(
+      lorentzGamma(Vector3<float>(1.0f, 2.0f, -1.0f), 1.0f, 1.0f));
+  float P0 = T.proxy().momentum().norm();
+  FieldSample<float> F{{0, 0, 0}, {0, 5.0f, 0}};
+  T.push(F, 0.2f, 1000);
+  EXPECT_NEAR(T.proxy().momentum().norm(), P0, P0 * 1e-4f);
+}
+
+} // namespace

@@ -1,0 +1,250 @@
+//===-- tests/core/ParticleTest.cpp - Particle & ensemble tests ----------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EnsembleInit.h"
+#include "core/Particle.h"
+#include "core/ParticleArray.h"
+#include "core/ParticleTypes.h"
+
+#include <gtest/gtest.h>
+
+using namespace hichi;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Particle record
+//===----------------------------------------------------------------------===//
+
+TEST(ParticleTest, SizesMatchPaperSection3) {
+  // "storage of each particle requires 34 bytes of memory (36 bytes after
+  // memory alignment), in the case of double precision, each particle
+  // takes 66 bytes of memory (72 bytes after memory alignment)".
+  EXPECT_EQ(sizeof(ParticleT<float>), 36u);
+  EXPECT_EQ(sizeof(ParticleT<double>), 72u);
+}
+
+TEST(ParticleTest, LorentzGammaAtRestIsOne) {
+  EXPECT_DOUBLE_EQ(lorentzGamma(Vector3<double>::zero(), 1.0, 1.0), 1.0);
+}
+
+TEST(ParticleTest, LorentzGammaRelativisticLimit) {
+  // |p| = m c gives gamma = sqrt(2); |p| >> m c gives gamma ~ p/(m c).
+  EXPECT_NEAR(lorentzGamma(Vector3<double>(1, 0, 0), 1.0, 1.0),
+              std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(lorentzGamma(Vector3<double>(1000, 0, 0), 1.0, 1.0), 1000.0,
+              0.001);
+}
+
+TEST(ParticleTest, VelocityNeverExceedsC) {
+  for (double P : {0.1, 1.0, 10.0, 1e4}) {
+    double C = 1.0;
+    double Gamma = lorentzGamma(Vector3<double>(P, 0, 0), 1.0, C);
+    auto V = velocityOf(Vector3<double>(P, 0, 0), Gamma, 1.0);
+    EXPECT_LT(V.norm(), C);
+  }
+}
+
+TEST(ParticleTest, KineticEnergyNonRelativisticLimit) {
+  // (gamma-1) m c^2 -> p^2/(2m) for small p.
+  double C = 1.0, M = 2.0, P = 1e-4;
+  EXPECT_NEAR(kineticEnergy(Vector3<double>(P, 0, 0), M, C), P * P / (2 * M),
+              1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Species table
+//===----------------------------------------------------------------------===//
+
+TEST(ParticleTypesTest, CgsBuiltins) {
+  auto T = ParticleTypeTable<double>::cgs();
+  EXPECT_EQ(T.count(), PS_BuiltinCount);
+  EXPECT_LT(T[PS_Electron].Charge, 0.0);
+  EXPECT_GT(T[PS_Positron].Charge, 0.0);
+  EXPECT_DOUBLE_EQ(T[PS_Electron].Mass, constants::ElectronMass);
+  EXPECT_NEAR(T[PS_Proton].Mass / T[PS_Electron].Mass, 1836.15, 0.01);
+}
+
+TEST(ParticleTypesTest, AddSpeciesExtendsTable) {
+  auto T = ParticleTypeTable<double>::natural();
+  short MuonLike = T.addSpecies(206.77, -1.0);
+  EXPECT_EQ(MuonLike, PS_BuiltinCount);
+  EXPECT_DOUBLE_EQ(T[MuonLike].Mass, 206.77);
+  EXPECT_EQ(T.count(), PS_BuiltinCount + 1);
+}
+
+TEST(ParticleTypesTest, DataPointerIndexesLikeOperator) {
+  auto T = ParticleTypeTable<float>::natural();
+  const ParticleTypeInfo<float> *P = T.data();
+  for (short I = 0; I < T.count(); ++I) {
+    EXPECT_EQ(P[I].Mass, T[I].Mass);
+    EXPECT_EQ(P[I].Charge, T[I].Charge);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Ensembles: typed over {layout} x {precision}
+//===----------------------------------------------------------------------===//
+
+template <typename ArrayT> class EnsembleTest : public ::testing::Test {};
+
+using EnsembleTypes =
+    ::testing::Types<ParticleArrayAoS<float>, ParticleArrayAoS<double>,
+                     ParticleArraySoA<float>, ParticleArraySoA<double>>;
+TYPED_TEST_SUITE(EnsembleTest, EnsembleTypes);
+
+TYPED_TEST(EnsembleTest, PushBackAndReadBack) {
+  using Real = typename TypeParam::Scalar;
+  TypeParam Particles(10);
+  EXPECT_TRUE(Particles.empty());
+  ParticleT<Real> P;
+  P.Position = {1, 2, 3};
+  P.Momentum = {4, 5, 6};
+  P.Weight = Real(2.5);
+  P.Gamma = Real(1.5);
+  P.Type = PS_Positron;
+  Particles.pushBack(P);
+  EXPECT_EQ(Particles.size(), 1);
+
+  auto Proxy = Particles[0];
+  EXPECT_EQ(Proxy.position(), (Vector3<Real>{1, 2, 3}));
+  EXPECT_EQ(Proxy.momentum(), (Vector3<Real>{4, 5, 6}));
+  EXPECT_EQ(Proxy.weight(), Real(2.5));
+  EXPECT_EQ(Proxy.gamma(), Real(1.5));
+  EXPECT_EQ(Proxy.type(), PS_Positron);
+}
+
+TYPED_TEST(EnsembleTest, ProxyMutatesUnderlyingStorage) {
+  using Real = typename TypeParam::Scalar;
+  TypeParam Particles(4);
+  Particles.pushBack(ParticleT<Real>{});
+  auto Proxy = Particles[0];
+  Proxy.setPosition({7, 8, 9});
+  Proxy.setMomentum({-1, -2, -3});
+  Proxy.setWeight(Real(3));
+  Proxy.setGamma(Real(2));
+  Proxy.setType(PS_Proton);
+  // Read back through a fresh proxy.
+  auto Again = Particles[0];
+  EXPECT_EQ(Again.position(), (Vector3<Real>{7, 8, 9}));
+  EXPECT_EQ(Again.momentum(), (Vector3<Real>{-1, -2, -3}));
+  EXPECT_EQ(Again.weight(), Real(3));
+  EXPECT_EQ(Again.gamma(), Real(2));
+  EXPECT_EQ(Again.type(), PS_Proton);
+}
+
+TYPED_TEST(EnsembleTest, LoadStoreRoundTrip) {
+  using Real = typename TypeParam::Scalar;
+  TypeParam Particles(2);
+  ParticleT<Real> P;
+  P.Position = {1, 0, -1};
+  P.Momentum = {0, 2, 0};
+  P.Weight = Real(9);
+  P.Gamma = Real(4);
+  P.Type = PS_Electron;
+  Particles.pushBack(ParticleT<Real>{});
+  Particles[0].store(P);
+  ParticleT<Real> Q = Particles[0].load();
+  EXPECT_EQ(Q.Position, P.Position);
+  EXPECT_EQ(Q.Momentum, P.Momentum);
+  EXPECT_EQ(Q.Weight, P.Weight);
+  EXPECT_EQ(Q.Gamma, P.Gamma);
+  EXPECT_EQ(Q.Type, P.Type);
+}
+
+TYPED_TEST(EnsembleTest, ViewIsTriviallyCopyable) {
+  using View = typename TypeParam::View;
+  static_assert(std::is_trivially_copyable_v<View>,
+                "views must be capturable by SYCL kernels");
+  SUCCEED();
+}
+
+TYPED_TEST(EnsembleTest, ClearResetsSizeKeepsCapacity) {
+  using Real = typename TypeParam::Scalar;
+  TypeParam Particles(8);
+  for (int I = 0; I < 5; ++I)
+    Particles.pushBack(ParticleT<Real>{});
+  Particles.clear();
+  EXPECT_EQ(Particles.size(), 0);
+  EXPECT_EQ(Particles.capacity(), 8);
+}
+
+TYPED_TEST(EnsembleTest, MoveTransfersOwnership) {
+  using Real = typename TypeParam::Scalar;
+  TypeParam A(4);
+  A.pushBack(ParticleT<Real>{});
+  auto LiveBefore = minisycl::usm_live_allocations();
+  TypeParam B(std::move(A));
+  EXPECT_EQ(B.size(), 1);
+  EXPECT_EQ(minisycl::usm_live_allocations(), LiveBefore)
+      << "move must not allocate or free";
+}
+
+TYPED_TEST(EnsembleTest, DestructorReleasesUsm) {
+  using Real = typename TypeParam::Scalar;
+  auto Before = minisycl::usm_live_allocations();
+  {
+    TypeParam Particles(100);
+    Particles.pushBack(ParticleT<Real>{});
+    EXPECT_GT(minisycl::usm_live_allocations(), Before);
+  }
+  EXPECT_EQ(minisycl::usm_live_allocations(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-layout copy + initializers
+//===----------------------------------------------------------------------===//
+
+TEST(CopyEnsembleTest, AoSToSoAPreservesEverything) {
+  ParticleArrayAoS<double> A(50);
+  initializeRandomEnsemble(A, 50, ParticleTypeTable<double>::natural(),
+                           Vector3<double>::zero(), 2.0, 5.0, 1.0,
+                           PS_Electron);
+  ParticleArraySoA<double> S(50);
+  copyEnsemble(A, S);
+  ASSERT_EQ(S.size(), 50);
+  for (Index I = 0; I < 50; ++I) {
+    EXPECT_EQ(A[I].position(), S[I].position());
+    EXPECT_EQ(A[I].momentum(), S[I].momentum());
+    EXPECT_EQ(A[I].weight(), S[I].weight());
+    EXPECT_EQ(A[I].gamma(), S[I].gamma());
+  }
+}
+
+TEST(EnsembleInitTest, BallAtRestProperties) {
+  ParticleArraySoA<double> P(1000);
+  Vector3<double> Center(1, 2, 3);
+  initializeBallAtRest(P, 1000, Center, 0.5, PS_Electron);
+  ASSERT_EQ(P.size(), 1000);
+  for (Index I = 0; I < 1000; ++I) {
+    EXPECT_LE((P[I].position() - Center).norm(), 0.5 * 1.0001);
+    EXPECT_EQ(P[I].momentum(), Vector3<double>::zero());
+    EXPECT_EQ(P[I].gamma(), 1.0);
+  }
+}
+
+TEST(EnsembleInitTest, DeterministicAcrossLayouts) {
+  ParticleArrayAoS<double> A(200);
+  ParticleArraySoA<double> S(200);
+  initializeBallAtRest(A, 200, Vector3<double>::zero(), 1.0, PS_Electron, 99);
+  initializeBallAtRest(S, 200, Vector3<double>::zero(), 1.0, PS_Electron, 99);
+  for (Index I = 0; I < 200; ++I)
+    EXPECT_EQ(A[I].position(), S[I].position());
+}
+
+TEST(EnsembleInitTest, RandomEnsembleGammaConsistent) {
+  ParticleArrayAoS<double> P(300);
+  auto Types = ParticleTypeTable<double>::natural();
+  initializeRandomEnsemble(P, 300, Types, Vector3<double>::zero(), 1.0, 10.0,
+                           1.0, PS_Electron);
+  for (Index I = 0; I < 300; ++I) {
+    double Expected = lorentzGamma(P[I].momentum(), Types[PS_Electron].Mass,
+                                   1.0);
+    EXPECT_NEAR(P[I].gamma(), Expected, 1e-12);
+  }
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+//===-- tests/core/PusherComparisonTest.cpp - Boris vs Vay vs HC ---------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-validation of the three pusher schemes (the paper's Ref. [11]
+/// comparison, Ripperda et al. 2018): all three must agree in the
+/// small-step limit; Vay and Higuera-Cary must hold the relativistic
+/// E x B drift exactly where Boris exhibits its known spurious drift.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BorisPusher.h"
+#include "core/ParticleArray.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace hichi;
+
+namespace {
+
+template <typename Pusher>
+ParticleT<double> advance(ParticleT<double> P, const FieldSample<double> &F,
+                          double Dt, int Steps) {
+  ParticleArrayAoS<double> A(1);
+  A.pushBack(P);
+  auto Types = ParticleTypeTable<double>::natural();
+  for (int I = 0; I < Steps; ++I)
+    Pusher::template push<double>(A[0], F, Types.data(), Dt, 1.0);
+  return A[0].load();
+}
+
+struct FieldCase {
+  FieldSample<double> F;
+  Vector3<double> P0;
+};
+
+class SmallStepAgreementTest : public ::testing::TestWithParam<FieldCase> {};
+
+TEST_P(SmallStepAgreementTest, AllSchemesConvergeToSameState) {
+  ParticleT<double> Init;
+  Init.Momentum = GetParam().P0;
+  Init.Gamma = lorentzGamma(Init.Momentum, 1.0, 1.0);
+
+  const double Dt = 1e-4;
+  const int Steps = 1000;
+  auto Boris = advance<BorisPusher>(Init, GetParam().F, Dt, Steps);
+  auto Vay = advance<VayPusher>(Init, GetParam().F, Dt, Steps);
+  auto HC = advance<HigueraCaryPusher>(Init, GetParam().F, Dt, Steps);
+
+  // First-order schemes differ at O(dt^2) per step, O(dt) overall; with
+  // dt = 1e-4 and field scales O(1) that is ~1e-4 absolute here.
+  EXPECT_LT((Boris.Momentum - Vay.Momentum).norm(), 2e-3);
+  EXPECT_LT((Boris.Momentum - HC.Momentum).norm(), 2e-3);
+  EXPECT_LT((Boris.Position - Vay.Position).norm(), 2e-3);
+  EXPECT_LT((Boris.Position - HC.Position).norm(), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldSweep, SmallStepAgreementTest,
+    ::testing::Values(
+        FieldCase{{{1, 0, 0}, {0, 0, 0}}, {0, 0, 0}},
+        FieldCase{{{0, 0, 0}, {0, 0, 2}}, {1, 0, 0}},
+        FieldCase{{{0.3, 0, 0}, {0, 0, 1}}, {0.5, 0.5, 0}},
+        FieldCase{{{0.1, -0.2, 0.3}, {1, 1, -1}}, {2, -1, 0.5}},
+        FieldCase{{{0, 0.5, 0}, {0, 0, 3}}, {0, 0, 4}}));
+
+TEST(VayPusherTest, HoldsExBDriftExactly) {
+  // A particle moving at exactly the drift velocity v_d = c ExB/B^2 in
+  // crossed fields feels zero net force; Vay preserves this state
+  // exactly (its design property), Boris drifts off it.
+  const double Ey = 0.5, Bz = 1.0;
+  FieldSample<double> F{{0, Ey, 0}, {0, 0, Bz}};
+  const double Vd = Ey / Bz; // |v_d| = c Ey/Bz with c = 1
+  const double Gamma = 1.0 / std::sqrt(1.0 - Vd * Vd);
+
+  ParticleT<double> Init;
+  Init.Momentum = {Vd * Gamma, 0, 0}; // p = gamma m v
+  Init.Gamma = Gamma;
+
+  auto Vay = advance<VayPusher>(Init, F, 0.2, 500);
+  EXPECT_NEAR(Vay.Momentum.X, Init.Momentum.X, 1e-10);
+  EXPECT_NEAR(Vay.Momentum.Y, 0.0, 1e-10);
+
+  auto HC = advance<HigueraCaryPusher>(Init, F, 0.2, 500);
+  EXPECT_NEAR(HC.Momentum.X, Init.Momentum.X, 1e-9);
+  EXPECT_NEAR(HC.Momentum.Y, 0.0, 1e-9);
+}
+
+TEST(PusherComparisonTest, AllPreserveMomentumNormInPureB) {
+  RandomStream<double> Rng(31);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    FieldSample<double> F{{0, 0, 0},
+                          Rng.inBall(Vector3<double>::zero(), 10.0)};
+    ParticleT<double> Init;
+    Init.Momentum = Rng.inBall(Vector3<double>::zero(), 5.0);
+    Init.Gamma = lorentzGamma(Init.Momentum, 1.0, 1.0);
+    const double P0 = Init.Momentum.norm();
+    const double Dt = Rng.uniform(0.01, 1.0);
+
+    auto Boris = advance<BorisPusher>(Init, F, Dt, 100);
+    EXPECT_NEAR(Boris.Momentum.norm(), P0, std::max(P0, 1.0) * 1e-12);
+    auto HC = advance<HigueraCaryPusher>(Init, F, Dt, 100);
+    EXPECT_NEAR(HC.Momentum.norm(), P0, std::max(P0, 1.0) * 1e-12);
+    // Vay is *not* volume preserving; only check it stays bounded sane.
+    auto Vay = advance<VayPusher>(Init, F, Dt, 100);
+    EXPECT_LT(Vay.Momentum.norm(), P0 * 1.5 + 1.0);
+  }
+}
+
+TEST(PusherComparisonTest, ConvergenceOrderOfBoris) {
+  // Halving dt must reduce the endpoint error ~4x (second-order leapfrog)
+  // for a smooth problem: gyration in uniform B with E = 0.
+  FieldSample<double> F{{0, 0, 0}, {0, 0, 1.0}};
+  ParticleT<double> Init;
+  Init.Momentum = {1.0, 0, 0};
+  Init.Gamma = lorentzGamma(Init.Momentum, 1.0, 1.0);
+  const double Gamma = Init.Gamma;
+  const double TEnd = 2 * constants::Pi * Gamma; // one full period
+
+  auto ErrorAt = [&](int Steps) {
+    auto End = advance<BorisPusher>(Init, F, TEnd / Steps, Steps);
+    // After one period, momentum returns to the start.
+    return (End.Momentum - Init.Momentum).norm();
+  };
+  double E1 = ErrorAt(400);
+  double E2 = ErrorAt(800);
+  double Order = std::log2(E1 / E2);
+  EXPECT_NEAR(Order, 2.0, 0.3);
+}
+
+} // namespace

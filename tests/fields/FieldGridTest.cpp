@@ -1,0 +1,115 @@
+//===-- tests/fields/FieldGridTest.cpp - Grid interpolation tests --------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fields/DipoleWave.h"
+#include "fields/FieldGrid.h"
+#include "fields/PrecalculatedFields.h"
+#include "core/EnsembleInit.h"
+
+#include <gtest/gtest.h>
+
+using namespace hichi;
+
+namespace {
+
+TEST(FieldGridTest, NodePositionsAndStorage) {
+  FieldGrid<double> G({4, 4, 4}, {0, 0, 0}, {0.5, 0.5, 0.5});
+  EXPECT_EQ(G.size().count(), 64);
+  auto P = G.nodePosition(1, 2, 3);
+  EXPECT_EQ(P, Vector3<double>(0.5, 1.0, 1.5));
+  G.at(1, 2, 3).E = {1, 2, 3};
+  EXPECT_EQ(G.at(1, 2, 3).E, Vector3<double>(1, 2, 3));
+}
+
+TEST(FieldGridTest, InterpolationIsExactAtNodes) {
+  FieldGrid<double> G({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  G.at(2, 1, 3).E = {5, -1, 2};
+  G.at(2, 1, 3).B = {0, 7, 0};
+  auto Src = G.source();
+  auto F = Src(Vector3<double>(2, 1, 3), 0.0, 0);
+  EXPECT_NEAR((F.E - Vector3<double>(5, -1, 2)).norm(), 0.0, 1e-14);
+  EXPECT_NEAR((F.B - Vector3<double>(0, 7, 0)).norm(), 0.0, 1e-14);
+}
+
+TEST(FieldGridTest, TrilinearIsExactForLinearFields) {
+  // A field linear in x, y, z is reproduced exactly by trilinear
+  // interpolation (away from the periodic seam).
+  FieldGrid<double> G({8, 8, 8}, {0, 0, 0}, {1, 1, 1});
+  for (Index I = 0; I < 8; ++I)
+    for (Index J = 0; J < 8; ++J)
+      for (Index K = 0; K < 8; ++K)
+        G.at(I, J, K).E = {double(I) + 2 * double(J) - double(K), 0, 0};
+  auto Src = G.source();
+  for (Vector3<double> P : {Vector3<double>(1.25, 3.5, 2.75),
+                            Vector3<double>(0.1, 0.9, 5.5),
+                            Vector3<double>(6.0, 6.0, 6.0)}) {
+    auto F = Src(P, 0.0, 0);
+    EXPECT_NEAR(F.E.X, P.X + 2 * P.Y - P.Z, 1e-12);
+  }
+}
+
+TEST(FieldGridTest, InterpolationIsConvexCombination) {
+  FieldGrid<double> G({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  for (Index I = 0; I < 4; ++I)
+    for (Index J = 0; J < 4; ++J)
+      for (Index K = 0; K < 4; ++K)
+        G.at(I, J, K).B = {double((I * 7 + J * 3 + K) % 5), 0, 0};
+  auto Src = G.source();
+  RandomStream<double> Rng(5);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    Vector3<double> P(Rng.uniform(0, 4), Rng.uniform(0, 4), Rng.uniform(0, 4));
+    double V = Src(P, 0, 0).B.X;
+    EXPECT_GE(V, 0.0);
+    EXPECT_LE(V, 4.0);
+  }
+}
+
+TEST(FieldGridTest, PeriodicWrapAround) {
+  FieldGrid<double> G({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  G.at(0, 0, 0).E = {8, 0, 0};
+  auto Src = G.source();
+  // Halfway between node 3 and node 0 (periodic): weight 0.5 on node 0.
+  auto F = Src(Vector3<double>(3.5, 0, 0), 0.0, 0);
+  EXPECT_NEAR(F.E.X, 4.0, 1e-12);
+}
+
+TEST(FieldGridTest, FillFromSamplesAnalyticSource) {
+  FieldGrid<double> G({4, 4, 4}, {-1, -1, -1}, {0.5, 0.5, 0.5});
+  auto Wave = DipoleWaveSource<double>::fromPower(1, 1, 1);
+  G.fillFrom(Wave, 0.3);
+  auto Expected = Wave(G.nodePosition(2, 3, 1), 0.3, 0);
+  EXPECT_EQ(G.at(2, 3, 1).E, Expected.E);
+  EXPECT_EQ(G.at(2, 3, 1).B, Expected.B);
+}
+
+TEST(PrecalculatedFieldsTest, PrecomputeMatchesAnalyticPerParticle) {
+  ParticleArrayAoS<double> Particles(64);
+  initializeBallAtRest(Particles, 64, Vector3<double>::zero(), 1.0,
+                       PS_Electron);
+  auto Wave = DipoleWaveSource<double>::fromPower(1, 1, 1);
+  PrecalculatedFields<double> Stored(64);
+  Stored.precompute(Particles, Wave, 0.6);
+  auto Src = Stored.source();
+  for (Index I = 0; I < 64; ++I) {
+    auto Direct = Wave(Particles[I].position(), 0.6, I);
+    auto Fetched = Src(Vector3<double>::zero() /*ignored*/, 99.0, I);
+    EXPECT_EQ(Fetched.E, Direct.E) << I;
+    EXPECT_EQ(Fetched.B, Direct.B) << I;
+  }
+}
+
+TEST(PrecalculatedFieldsTest, UsmLifecycle) {
+  auto Before = minisycl::usm_live_allocations();
+  {
+    PrecalculatedFields<double> Stored(1000);
+    EXPECT_EQ(minisycl::usm_live_allocations(), Before + 1);
+    Stored[0].E = {1, 1, 1};
+    EXPECT_EQ(Stored[0].E, Vector3<double>(1, 1, 1));
+  }
+  EXPECT_EQ(minisycl::usm_live_allocations(), Before);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+//===-- tests/minisycl/ReductionTest.cpp - SYCL reduction tests ----------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minisycl/minisycl.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+namespace sycl = minisycl;
+
+namespace {
+
+TEST(ReductionTest, SumOfIndices) {
+  sycl::queue Q{sycl::cpu_device()};
+  const std::size_t N = 10000;
+  long Sum = 0;
+  Q.submit([&](sycl::handler &H) {
+     H.parallel_for(sycl::range<1>(N),
+                    sycl::reduction(&Sum, 0L, std::plus<long>()),
+                    [=](sycl::id<1> I, auto &Reducer) {
+                      Reducer += long(std::size_t(I));
+                    });
+   }).wait();
+  EXPECT_EQ(Sum, long(N) * long(N - 1) / 2);
+}
+
+TEST(ReductionTest, FoldsInPriorTargetValue) {
+  // SYCL default semantics: the reduction combines with the variable's
+  // existing value.
+  sycl::queue Q{sycl::cpu_device()};
+  long Sum = 1000;
+  Q.submit([&](sycl::handler &H) {
+     H.parallel_for(sycl::range<1>(10),
+                    sycl::reduction(&Sum, 0L, std::plus<long>()),
+                    [=](sycl::id<1>, auto &Reducer) { Reducer += 1L; });
+   }).wait();
+  EXPECT_EQ(Sum, 1010);
+}
+
+TEST(ReductionTest, MaxReduction) {
+  sycl::queue Q{sycl::cpu_device()};
+  const std::size_t N = 5000;
+  double *Data = sycl::malloc_shared<double>(N, Q);
+  for (std::size_t I = 0; I < N; ++I)
+    Data[I] = double((I * 2654435761u) % 100000);
+  double Expected = 0;
+  for (std::size_t I = 0; I < N; ++I)
+    Expected = std::max(Expected, Data[I]);
+
+  double Max = -1;
+  auto MaxOp = [](double A, double B) { return A > B ? A : B; };
+  Q.submit([&](sycl::handler &H) {
+     H.parallel_for(sycl::range<1>(N),
+                    sycl::reduction(&Max, -1.0, MaxOp),
+                    [=](sycl::id<1> I, auto &Reducer) {
+                      Reducer.combine(Data[I]);
+                    });
+   }).wait();
+  EXPECT_DOUBLE_EQ(Max, Expected);
+  sycl::free(Data);
+}
+
+TEST(ReductionTest, WorksUnderNumaPlaces) {
+  sycl::queue Q{sycl::cpu_device()};
+  Q.set_cpu_places(sycl::cpu_places::numa_domains);
+  long Count = 0;
+  Q.submit([&](sycl::handler &H) {
+     H.parallel_for(sycl::range<1>(7777),
+                    sycl::reduction(&Count, 0L, std::plus<long>()),
+                    [=](sycl::id<1>, auto &R) { R += 1L; });
+   }).wait();
+  EXPECT_EQ(Count, 7777);
+}
+
+TEST(ReductionTest, KineticEnergyUseCase) {
+  // The diagnostics pattern: total kinetic energy of an ensemble through
+  // a USM view plus reduction — i.e. what a DPC++ port of the Hi-Chi
+  // diagnostics would write.
+  sycl::queue Q{sycl::cpu_device()};
+  const std::size_t N = 1000;
+  double *Gamma = sycl::malloc_shared<double>(N, Q);
+  double *Weight = sycl::malloc_shared<double>(N, Q);
+  for (std::size_t I = 0; I < N; ++I) {
+    Gamma[I] = 1.0 + 0.001 * double(I);
+    Weight[I] = 2.0;
+  }
+  double Energy = 0;
+  Q.submit([&](sycl::handler &H) {
+     H.parallel_for(sycl::range<1>(N),
+                    sycl::reduction(&Energy, 0.0, std::plus<double>()),
+                    [=](sycl::id<1> I, auto &R) {
+                      R += Weight[I] * (Gamma[I] - 1.0);
+                    });
+   }).wait();
+  double Expected = 0;
+  for (std::size_t I = 0; I < N; ++I)
+    Expected += Weight[I] * (Gamma[I] - 1.0);
+  EXPECT_NEAR(Energy, Expected, 1e-9);
+  sycl::free(Gamma);
+  sycl::free(Weight);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===-- tests/numa/NumaTest.cpp - NUMA model tests -----------------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/FirstTouchTracker.h"
+#include "numa/NumaCostModel.h"
+#include "threading/TaskScheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace hichi;
+using namespace hichi::numa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// FirstTouchTracker
+//===----------------------------------------------------------------------===//
+
+TEST(FirstTouchTrackerTest, PageGeometry) {
+  FirstTouchTracker T(/*Count=*/10000, /*ElementBytes=*/36);
+  EXPECT_EQ(T.elementsPerPage(), 4096 / 36);
+  EXPECT_EQ(T.pageCount(), (10000 + 113 - 1) / 113);
+  EXPECT_EQ(T.pageOfElement(0), 0);
+  EXPECT_EQ(T.pageOfElement(113), 1);
+}
+
+TEST(FirstTouchTrackerTest, FirstTouchWins) {
+  FirstTouchTracker T(1000, 8);
+  T.recordFirstTouch(0, /*Domain=*/1);
+  T.recordFirstTouch(1, /*Domain=*/0); // same page, later: must not move
+  EXPECT_EQ(T.domainOfElement(0), 1);
+  EXPECT_EQ(T.domainOfElement(1), 1);
+}
+
+TEST(FirstTouchTrackerTest, UntouchedPagesReportMinusOne) {
+  FirstTouchTracker T(10000, 8);
+  EXPECT_EQ(T.domainOfElement(9999), -1);
+}
+
+TEST(FirstTouchTrackerTest, AccessCounting) {
+  FirstTouchTracker T(2048, 8); // 512 elements/page -> 4 pages
+  for (Index I = 0; I < 1024; ++I)
+    T.recordFirstTouch(I, 0);
+  for (Index I = 1024; I < 2048; ++I)
+    T.recordFirstTouch(I, 1);
+
+  FirstTouchTracker::AccessStats S;
+  for (Index I = 0; I < 2048; ++I)
+    T.countAccess(I, /*Domain=*/0, S);
+  EXPECT_EQ(S.Local, 1024);
+  EXPECT_EQ(S.Remote, 1024);
+  EXPECT_EQ(S.Untracked, 0);
+  EXPECT_DOUBLE_EQ(S.remoteFraction(), 0.5);
+}
+
+TEST(FirstTouchTrackerTest, MergeAccumulates) {
+  FirstTouchTracker::AccessStats A, B;
+  A.Local = 10;
+  A.Remote = 5;
+  B.Local = 1;
+  B.Untracked = 3;
+  auto M = FirstTouchTracker::merge({A, B});
+  EXPECT_EQ(M.Local, 11);
+  EXPECT_EQ(M.Remote, 5);
+  EXPECT_EQ(M.Untracked, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// The key mechanism test: measured remote fraction per scheduling policy
+//===----------------------------------------------------------------------===//
+
+/// Simulates first-touch by a static loop, then replays processing under a
+/// given schedule and measures the remote fraction — the software
+/// reproduction of the experiment behind Table 2's NUMA conclusions.
+class SchedulingRemoteFractionTest : public ::testing::Test {
+protected:
+  static constexpr Index N = 100000;
+  CpuTopology Topology{2, 2};
+  FirstTouchTracker Tracker{N, 36};
+
+  void touchStatically() {
+    // Static loop: worker w of 4 touches block w; worker domain = w/2.
+    for (int W = 0; W < 4; ++W) {
+      auto Block = threading::staticBlock({0, N}, W, 4);
+      for (Index I = Block.Begin; I < Block.End; ++I)
+        Tracker.recordFirstTouch(I, Topology.domainOfCore(W));
+    }
+  }
+};
+
+TEST_F(SchedulingRemoteFractionTest, StaticProcessingIsAllLocal) {
+  touchStatically();
+  FirstTouchTracker::AccessStats S;
+  for (int W = 0; W < 4; ++W) {
+    auto Block = threading::staticBlock({0, N}, W, 4);
+    for (Index I = Block.Begin; I < Block.End; ++I)
+      Tracker.countAccess(I, Topology.domainOfCore(W), S);
+  }
+  // Only page-boundary straddles may be remote.
+  EXPECT_LT(S.remoteFraction(), 0.001);
+}
+
+TEST_F(SchedulingRemoteFractionTest, NumaArenaProcessingIsAllLocal) {
+  touchStatically();
+  // Arena split: domain 0 processes [0, N/2), domain 1 the rest — chunks
+  // within an arena may go to either of its workers, but never cross.
+  FirstTouchTracker::AccessStats S;
+  for (Index I = 0; I < N; ++I)
+    Tracker.countAccess(I, I < N / 2 ? 0 : 1, S);
+  EXPECT_LT(S.remoteFraction(), 0.001);
+}
+
+TEST_F(SchedulingRemoteFractionTest, UnconstrainedDynamicIsHalfRemote) {
+  touchStatically();
+  // Unconstrained dynamic: a chunk lands on any of the 4 workers; model
+  // it with a deterministic round-robin of chunks over workers, which is
+  // the steady state of a balanced dynamic loop.
+  FirstTouchTracker::AccessStats S;
+  const Index Grain = 128;
+  int Worker = 0;
+  for (Index Base = 0; Base < N; Base += Grain) {
+    int Domain = Topology.domainOfCore(Worker);
+    for (Index I = Base; I < std::min(Base + Grain, N); ++I)
+      Tracker.countAccess(I, Domain, S);
+    Worker = (Worker + 1) % 4;
+  }
+  EXPECT_NEAR(S.remoteFraction(),
+              expectedRemoteFraction(2, /*DynamicUnconstrained=*/true), 0.02);
+}
+
+//===----------------------------------------------------------------------===//
+// NumaCostModel
+//===----------------------------------------------------------------------===//
+
+TEST(NumaCostModelTest, AllLocalGivesLocalBandwidth) {
+  NumaBandwidth BW{100e9, 40e9};
+  EXPECT_DOUBLE_EQ(effectiveBandwidth(BW, 0.0), 100e9);
+}
+
+TEST(NumaCostModelTest, AllRemoteGivesRemoteBandwidth) {
+  NumaBandwidth BW{100e9, 40e9};
+  EXPECT_DOUBLE_EQ(effectiveBandwidth(BW, 1.0), 40e9);
+}
+
+TEST(NumaCostModelTest, MixIsHarmonic) {
+  NumaBandwidth BW{100e9, 50e9};
+  // 1 / (0.5/100 + 0.5/50) = 66.7 GB/s
+  EXPECT_NEAR(effectiveBandwidth(BW, 0.5), 66.667e9, 0.01e9);
+  // And always between the two extremes, below the arithmetic mean.
+  EXPECT_LT(effectiveBandwidth(BW, 0.5), 75e9);
+  EXPECT_GT(effectiveBandwidth(BW, 0.5), 50e9);
+}
+
+TEST(NumaCostModelTest, ExpectedRemoteFraction) {
+  EXPECT_DOUBLE_EQ(expectedRemoteFraction(1, true), 0.0);
+  EXPECT_DOUBLE_EQ(expectedRemoteFraction(2, false), 0.0);
+  EXPECT_DOUBLE_EQ(expectedRemoteFraction(2, true), 0.5);
+  EXPECT_DOUBLE_EQ(expectedRemoteFraction(4, true), 0.75);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===-- tests/pic/CellListAndDiagnosticsTest.cpp -------------------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EnsembleInit.h"
+#include "pic/CellListEnsemble.h"
+#include "pic/Diagnostics.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace hichi;
+using namespace hichi::pic;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CellListEnsemble — the paper's "first method" of particle storage
+//===----------------------------------------------------------------------===//
+
+TEST(CellListTest, AddPlacesIntoOwningCell) {
+  CellListEnsemble<double> E({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  ParticleT<double> P;
+  P.Position = {2.5, 1.5, 0.5};
+  E.addParticle(P);
+  EXPECT_EQ(E.size(), 1);
+  EXPECT_TRUE(E.isConsistent());
+  Index Cell = E.indexer().cellOf(P.Position);
+  EXPECT_EQ(Index(E.cell(Cell).size()), 1);
+}
+
+TEST(CellListTest, MigrateRestoresConsistency) {
+  CellListEnsemble<double> E({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  RandomStream<double> Rng(3);
+  for (int I = 0; I < 200; ++I) {
+    ParticleT<double> P;
+    P.Position = {Rng.uniform(0, 4), Rng.uniform(0, 4), Rng.uniform(0, 4)};
+    E.addParticle(P);
+  }
+  // Displace everyone without telling the container.
+  E.forEachParticle([&](ParticleT<double> &P) {
+    P.Position += Vector3<double>(Rng.uniform(-1, 1), Rng.uniform(-1, 1),
+                                  Rng.uniform(-1, 1));
+    // Keep positions inside the box so cellOf stays within wrap range.
+    P.Position = {std::fmod(P.Position.X + 4, 4.0),
+                  std::fmod(P.Position.Y + 4, 4.0),
+                  std::fmod(P.Position.Z + 4, 4.0)};
+  });
+  EXPECT_FALSE(E.isConsistent());
+  Index Moved = E.migrate();
+  EXPECT_GT(Moved, 0);
+  EXPECT_TRUE(E.isConsistent());
+  EXPECT_EQ(E.size(), 200);
+}
+
+TEST(CellListTest, MigrateIsIdempotent) {
+  CellListEnsemble<double> E({2, 2, 2}, {0, 0, 0}, {1, 1, 1});
+  RandomStream<double> Rng(5);
+  for (int I = 0; I < 50; ++I) {
+    ParticleT<double> P;
+    P.Position = {Rng.uniform(0, 2), Rng.uniform(0, 2), Rng.uniform(0, 2)};
+    E.addParticle(P);
+  }
+  E.migrate();
+  EXPECT_EQ(E.migrate(), 0) << "second migrate must move nothing";
+}
+
+TEST(CellListTest, PushMatchesFlatArrayKernel) {
+  // The same particles pushed through the cell-list path and the flat
+  // AoS path must land on identical states (same kernel, same order of
+  // operations per particle).
+  const FieldSample<double> F{{0.1, 0, 0}, {0, 0, 1.0}};
+  UniformFieldSource<double> Source{F};
+  auto Types = ParticleTypeTable<double>::natural();
+
+  CellListEnsemble<double> Cells({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  ParticleArrayAoS<double> Flat(64);
+  RandomStream<double> Rng(6);
+  for (int I = 0; I < 64; ++I) {
+    ParticleT<double> P;
+    P.Position = {Rng.uniform(0.5, 3.5), Rng.uniform(0.5, 3.5),
+                  Rng.uniform(0.5, 3.5)};
+    P.Momentum = Rng.inBall(Vector3<double>::zero(), 0.5);
+    P.Gamma = lorentzGamma(P.Momentum, 1.0, 1.0);
+    Cells.addParticle(P);
+    Flat.pushBack(P);
+  }
+  for (int Step = 0; Step < 10; ++Step) {
+    pushCellList(Cells, Source, Types, 0.01, 0.0, 1.0);
+    for (Index I = 0; I < 64; ++I)
+      BorisPusher::push<double>(Flat[I], F, Types.data(), 0.01, 1.0);
+  }
+  EXPECT_TRUE(Cells.isConsistent());
+
+  // Compare as multisets of momenta (cell order is a permutation of the
+  // flat order).
+  std::vector<double> CellNorms, FlatNorms;
+  Cells.forEachParticle([&](ParticleT<double> &P) {
+    CellNorms.push_back(P.Momentum.norm());
+  });
+  for (Index I = 0; I < 64; ++I)
+    FlatNorms.push_back(Flat[I].momentum().norm());
+  std::sort(CellNorms.begin(), CellNorms.end());
+  std::sort(FlatNorms.begin(), FlatNorms.end());
+  for (std::size_t I = 0; I < 64; ++I)
+    EXPECT_DOUBLE_EQ(CellNorms[I], FlatNorms[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// Histograms
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram1DTest, BinningAndBookkeeping) {
+  Histogram1D H(0.0, 10.0, 10);
+  H.add(0.5);        // bin 0
+  H.add(9.99);       // bin 9
+  H.add(5.0, 2.0);   // bin 5, weight 2
+  H.add(-1.0);       // underflow
+  H.add(10.0);       // overflow (right edge exclusive)
+  EXPECT_DOUBLE_EQ(H.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(H.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(H.count(5), 2.0);
+  EXPECT_DOUBLE_EQ(H.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(H.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(H.totalWeight(), 6.0);
+  EXPECT_DOUBLE_EQ(H.binCenter(0), 0.5);
+  EXPECT_EQ(H.peakBin(), 5);
+}
+
+TEST(Histogram2DTest, BinningAndClipping) {
+  Histogram2D H(0, 4, 4, -1, 1, 8);
+  H.add(1.5, 0.0);
+  H.add(1.7, 0.1, 3.0);
+  H.add(99, 0); // clipped
+  EXPECT_DOUBLE_EQ(H.count(1, 4), 4.0);
+  EXPECT_EQ(H.xBins(), 4);
+  EXPECT_EQ(H.yBins(), 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Ensemble summaries and spectra
+//===----------------------------------------------------------------------===//
+
+TEST(SummarizeTest, MatchesHandComputation) {
+  ParticleArrayAoS<double> P(2);
+  ParticleT<double> A, B;
+  A.Position = {1, 0, 0};
+  A.Momentum = {0, 0, 0};
+  A.Gamma = 1.0;
+  A.Weight = 2.0;
+  B.Position = {3, 0, 0};
+  B.Momentum = {0, 3, 0};
+  B.Gamma = lorentzGamma(B.Momentum, 1.0, 1.0);
+  B.Weight = 1.0;
+  P.pushBack(A);
+  P.pushBack(B);
+  auto Types = ParticleTypeTable<double>::natural();
+  auto S = summarize(P, Types, 1.0);
+  EXPECT_EQ(S.Count, 2);
+  EXPECT_DOUBLE_EQ(S.MeanPosition.X, 2.0);
+  EXPECT_DOUBLE_EQ(S.TotalWeight, 3.0);
+  EXPECT_NEAR(S.MaxGamma, std::sqrt(10.0), 1e-12);
+  EXPECT_NEAR(S.TotalKineticEnergy, 1.0 * (std::sqrt(10.0) - 1.0), 1e-12);
+}
+
+TEST(EnergySpectrumTest, ColdEnsembleIsAllInFirstBin) {
+  ParticleArraySoA<double> P(100);
+  initializeBallAtRest(P, 100, Vector3<double>::zero(), 1.0, PS_Electron);
+  auto Types = ParticleTypeTable<double>::natural();
+  auto H = energySpectrum(P, Types, /*MaxGamma=*/2.0, 10);
+  EXPECT_DOUBLE_EQ(H.count(0), 100.0);
+  EXPECT_DOUBLE_EQ(H.overflow(), 0.0);
+}
+
+TEST(CsvTest, HistogramRoundTripThroughFile) {
+  Histogram1D H(0, 1, 4);
+  H.add(0.1);
+  H.add(0.6, 2.5);
+  std::string Path = "/tmp/hichi_test_hist.csv";
+  ASSERT_TRUE(writeCsv(H, Path));
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(File, nullptr);
+  char Header[64];
+  ASSERT_NE(std::fgets(Header, sizeof(Header), File), nullptr);
+  EXPECT_STREQ(Header, "bin_center,count\n");
+  double Center, Count;
+  ASSERT_EQ(std::fscanf(File, "%lf,%lf", &Center, &Count), 2);
+  EXPECT_DOUBLE_EQ(Center, 0.125);
+  EXPECT_DOUBLE_EQ(Count, 1.0);
+  std::fclose(File);
+  std::remove(Path.c_str());
+}
+
+TEST(CsvTest, ColumnsWriter) {
+  std::string Path = "/tmp/hichi_test_cols.csv";
+  ASSERT_TRUE(writeCsv({"t", "energy"}, {{0.0, 1.0}, {5.0, 6.0}}, Path));
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(File, nullptr);
+  char Line[128];
+  ASSERT_NE(std::fgets(Line, sizeof(Line), File), nullptr);
+  EXPECT_STREQ(Line, "t,energy\n");
+  ASSERT_NE(std::fgets(Line, sizeof(Line), File), nullptr);
+  EXPECT_STREQ(Line, "0,5\n");
+  std::fclose(File);
+  std::remove(Path.c_str());
+}
+
+} // namespace

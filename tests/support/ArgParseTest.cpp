@@ -1,0 +1,87 @@
+//===-- tests/support/ArgParseTest.cpp - CLI parser tests ----------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <gtest/gtest.h>
+
+using namespace hichi;
+
+namespace {
+
+ArgParser makeParser() {
+  ArgParser P("test tool");
+  P.addOption("layout", "aos | soa", "aos");
+  P.addOption("particles", "count", "1000");
+  P.addOption("scale", "factor", "1.5");
+  return P;
+}
+
+TEST(ArgParseTest, DefaultsApplyWhenUnset) {
+  ArgParser P = makeParser();
+  const char *Argv[] = {"tool"};
+  ASSERT_TRUE(P.parse(1, Argv));
+  EXPECT_EQ(P.getString("layout"), "aos");
+  EXPECT_EQ(P.getInt("particles"), 1000);
+  EXPECT_DOUBLE_EQ(*P.getDouble("scale"), 1.5);
+  EXPECT_FALSE(P.seen("layout"));
+}
+
+TEST(ArgParseTest, SpaceSeparatedValues) {
+  ArgParser P = makeParser();
+  const char *Argv[] = {"tool", "--layout", "soa", "--particles", "42"};
+  ASSERT_TRUE(P.parse(5, Argv));
+  EXPECT_EQ(P.getString("layout"), "soa");
+  EXPECT_EQ(P.getInt("particles"), 42);
+  EXPECT_TRUE(P.seen("layout"));
+}
+
+TEST(ArgParseTest, EqualsSeparatedValues) {
+  ArgParser P = makeParser();
+  const char *Argv[] = {"tool", "--particles=7", "--scale=0.25"};
+  ASSERT_TRUE(P.parse(3, Argv));
+  EXPECT_EQ(P.getInt("particles"), 7);
+  EXPECT_DOUBLE_EQ(*P.getDouble("scale"), 0.25);
+}
+
+TEST(ArgParseTest, UnknownOptionFails) {
+  ArgParser P = makeParser();
+  const char *Argv[] = {"tool", "--bogus", "1"};
+  EXPECT_FALSE(P.parse(3, Argv));
+  EXPECT_NE(P.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParseTest, MissingValueFails) {
+  ArgParser P = makeParser();
+  const char *Argv[] = {"tool", "--layout"};
+  EXPECT_FALSE(P.parse(2, Argv));
+  EXPECT_NE(P.error().find("expects a value"), std::string::npos);
+}
+
+TEST(ArgParseTest, HelpFlagDetected) {
+  ArgParser P = makeParser();
+  const char *Argv[] = {"tool", "--help"};
+  ASSERT_TRUE(P.parse(2, Argv));
+  EXPECT_TRUE(P.helpRequested());
+}
+
+TEST(ArgParseTest, PositionalArgumentsCollected) {
+  ArgParser P = makeParser();
+  const char *Argv[] = {"tool", "input.csv", "--layout", "soa", "more"};
+  ASSERT_TRUE(P.parse(5, Argv));
+  ASSERT_EQ(P.positional().size(), 2u);
+  EXPECT_EQ(P.positional()[0], "input.csv");
+  EXPECT_EQ(P.positional()[1], "more");
+}
+
+TEST(ArgParseTest, MalformedNumbersReturnNullopt) {
+  ArgParser P = makeParser();
+  const char *Argv[] = {"tool", "--particles", "twelve"};
+  ASSERT_TRUE(P.parse(3, Argv));
+  EXPECT_FALSE(P.getInt("particles").has_value());
+}
+
+} // namespace

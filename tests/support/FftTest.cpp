@@ -1,0 +1,146 @@
+//===-- tests/support/FftTest.cpp - FFT unit tests -----------------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fft.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace hichi;
+
+namespace {
+
+using Cplx = std::complex<double>;
+
+TEST(FftTest, PowerOfTwoPredicate) {
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(2));
+  EXPECT_TRUE(isPowerOfTwo(1024));
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_FALSE(isPowerOfTwo(1000));
+}
+
+TEST(FftTest, DeltaTransformsToFlatSpectrum) {
+  std::vector<Cplx> Data(16, Cplx(0));
+  Data[0] = Cplx(1);
+  fftInPlace(Data, false);
+  for (const Cplx &X : Data) {
+    EXPECT_NEAR(X.real(), 1.0, 1e-12);
+    EXPECT_NEAR(X.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantTransformsToDcBin) {
+  std::vector<Cplx> Data(32, Cplx(2.5));
+  fftInPlace(Data, false);
+  EXPECT_NEAR(Data[0].real(), 32 * 2.5, 1e-10);
+  for (std::size_t K = 1; K < 32; ++K)
+    EXPECT_NEAR(std::abs(Data[K]), 0.0, 1e-10);
+}
+
+TEST(FftTest, SingleModeLandsInItsBin) {
+  const std::size_t N = 64;
+  std::vector<double> Signal(N);
+  for (std::size_t I = 0; I < N; ++I)
+    Signal[I] = std::cos(2 * constants::Pi * 5 * double(I) / double(N));
+  auto Spectrum = fftReal(Signal);
+  // cos splits into bins 5 and N-5, each with magnitude N/2.
+  EXPECT_NEAR(std::abs(Spectrum[5]), N / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(Spectrum[N - 5]), N / 2.0, 1e-9);
+  for (std::size_t K = 0; K < N; ++K) {
+    // Braces around the assertion: gtest macros expand to if/else.
+    if (K != 5 && K != N - 5) {
+      EXPECT_NEAR(std::abs(Spectrum[K]), 0.0, 1e-9) << K;
+    }
+  }
+}
+
+TEST(FftTest, ForwardInverseIsIdentity) {
+  RandomStream<double> Rng(77);
+  std::vector<Cplx> Data(128);
+  for (auto &X : Data)
+    X = Cplx(Rng.uniform(-1, 1), Rng.uniform(-1, 1));
+  std::vector<Cplx> Original = Data;
+  fftInPlace(Data, false);
+  fftInPlace(Data, true);
+  for (std::size_t I = 0; I < Data.size(); ++I)
+    EXPECT_NEAR(std::abs(Data[I] - Original[I]), 0.0, 1e-12);
+}
+
+TEST(FftTest, ParsevalTheoremHolds) {
+  RandomStream<double> Rng(78);
+  std::vector<Cplx> Data(256);
+  double TimeEnergy = 0;
+  for (auto &X : Data) {
+    X = Cplx(Rng.uniform(-1, 1), Rng.uniform(-1, 1));
+    TimeEnergy += std::norm(X);
+  }
+  fftInPlace(Data, false);
+  double FreqEnergy = 0;
+  for (const auto &X : Data)
+    FreqEnergy += std::norm(X);
+  EXPECT_NEAR(FreqEnergy / 256.0, TimeEnergy, 1e-9 * TimeEnergy);
+}
+
+TEST(FftTest, LinearityProperty) {
+  RandomStream<double> Rng(79);
+  std::vector<Cplx> A(64), B(64), Sum(64);
+  for (std::size_t I = 0; I < 64; ++I) {
+    A[I] = Cplx(Rng.uniform(-1, 1), 0);
+    B[I] = Cplx(Rng.uniform(-1, 1), 0);
+    Sum[I] = A[I] + 3.0 * B[I];
+  }
+  fftInPlace(A, false);
+  fftInPlace(B, false);
+  fftInPlace(Sum, false);
+  for (std::size_t I = 0; I < 64; ++I)
+    EXPECT_NEAR(std::abs(Sum[I] - (A[I] + 3.0 * B[I])), 0.0, 1e-10);
+}
+
+TEST(FftTest, FrequencyHelperSignsAndWrap) {
+  EXPECT_DOUBLE_EQ(fftFrequency<double>(0, 8), 0.0);
+  EXPECT_NEAR(fftFrequency<double>(1, 8), 2 * constants::Pi / 8, 1e-15);
+  EXPECT_NEAR(fftFrequency<double>(7, 8), -2 * constants::Pi / 8, 1e-15);
+  EXPECT_NEAR(fftFrequency<double>(4, 8), constants::Pi, 1e-15);
+}
+
+TEST(Fft3DTest, RoundTripIdentity) {
+  Fft3D<double> Fft(8, 4, 4);
+  RandomStream<double> Rng(80);
+  std::vector<Cplx> Data(Fft.size());
+  for (auto &X : Data)
+    X = Cplx(Rng.uniform(-1, 1), Rng.uniform(-1, 1));
+  auto Original = Data;
+  Fft.transform(Data, false);
+  Fft.transform(Data, true);
+  for (std::size_t I = 0; I < Data.size(); ++I)
+    EXPECT_NEAR(std::abs(Data[I] - Original[I]), 0.0, 1e-11);
+}
+
+TEST(Fft3DTest, SeparableModeLandsInItsBin) {
+  const std::size_t NX = 8, NY = 4, NZ = 4;
+  Fft3D<double> Fft(NX, NY, NZ);
+  std::vector<Cplx> Data(Fft.size());
+  // e^{i 2 pi (2 x / NX + 1 y / NY)}: a single complex mode (2, 1, 0).
+  for (std::size_t I = 0; I < NX; ++I)
+    for (std::size_t J = 0; J < NY; ++J)
+      for (std::size_t K = 0; K < NZ; ++K) {
+        double Phase = 2 * constants::Pi *
+                       (2.0 * double(I) / NX + 1.0 * double(J) / NY);
+        Data[(I * NY + J) * NZ + K] = Cplx(std::cos(Phase), std::sin(Phase));
+      }
+  Fft.transform(Data, false);
+  for (std::size_t I = 0; I < NX; ++I)
+    for (std::size_t J = 0; J < NY; ++J)
+      for (std::size_t K = 0; K < NZ; ++K) {
+        double Expected = (I == 2 && J == 1 && K == 0) ? double(NX * NY * NZ)
+                                                       : 0.0;
+        EXPECT_NEAR(std::abs(Data[(I * NY + J) * NZ + K]), Expected, 1e-9);
+      }
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===-- tests/support/RandomTest.cpp - PRNG unit tests -------------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace hichi;
+
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiffer) {
+  Xoshiro256 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += (A() == B());
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Xoshiro256Test, JumpProducesDisjointStream) {
+  Xoshiro256 A(7);
+  Xoshiro256 B = A;
+  B.jump();
+  std::set<std::uint64_t> SeenA;
+  for (int I = 0; I < 1000; ++I)
+    SeenA.insert(A());
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_FALSE(SeenA.count(B())) << "jumped stream overlapped base stream";
+}
+
+template <typename Real> class RandomStreamTest : public ::testing::Test {};
+using RealTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(RandomStreamTest, RealTypes);
+
+TYPED_TEST(RandomStreamTest, Uniform01InRange) {
+  RandomStream<TypeParam> Rng(123);
+  for (int I = 0; I < 10000; ++I) {
+    TypeParam X = Rng.uniform01();
+    EXPECT_GE(X, TypeParam(0));
+    EXPECT_LT(X, TypeParam(1));
+  }
+}
+
+TYPED_TEST(RandomStreamTest, Uniform01MeanIsHalf) {
+  RandomStream<TypeParam> Rng(9);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += double(Rng.uniform01());
+  // Standard error ~ 1/sqrt(12 N) ~ 0.0009; 5 sigma bound.
+  EXPECT_NEAR(Sum / N, 0.5, 0.005);
+}
+
+TYPED_TEST(RandomStreamTest, UniformRespectsBounds) {
+  RandomStream<TypeParam> Rng(5);
+  for (int I = 0; I < 1000; ++I) {
+    TypeParam X = Rng.uniform(TypeParam(-3), TypeParam(7));
+    EXPECT_GE(X, TypeParam(-3));
+    EXPECT_LT(X, TypeParam(7));
+  }
+}
+
+TYPED_TEST(RandomStreamTest, InBallStaysInBall) {
+  RandomStream<TypeParam> Rng(11);
+  const Vector3<TypeParam> Center(1, -2, 3);
+  const TypeParam Radius = TypeParam(2.5);
+  for (int I = 0; I < 2000; ++I) {
+    auto P = Rng.inBall(Center, Radius);
+    EXPECT_LE((P - Center).norm(), Radius * TypeParam(1.0001));
+  }
+}
+
+TYPED_TEST(RandomStreamTest, InBallFillsAllOctants) {
+  RandomStream<TypeParam> Rng(13);
+  int Octant[8] = {};
+  for (int I = 0; I < 4000; ++I) {
+    auto P = Rng.inBall(Vector3<TypeParam>::zero(), TypeParam(1));
+    Octant[(P.X > 0) * 4 + (P.Y > 0) * 2 + (P.Z > 0)]++;
+  }
+  for (int Count : Octant)
+    EXPECT_GT(Count, 300) << "octant badly undersampled";
+}
+
+TYPED_TEST(RandomStreamTest, OnUnitSphereHasUnitNorm) {
+  RandomStream<TypeParam> Rng(17);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_NEAR(Rng.onUnitSphere().norm(), TypeParam(1), TypeParam(1e-5));
+}
+
+TEST(RandomStreamTest, UniformIndexBounds) {
+  RandomStream<double> Rng(3);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I < 5000; ++I) {
+    auto V = Rng.uniformIndex(10);
+    EXPECT_LT(V, 10u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 10u) << "some residues never drawn";
+}
+
+TEST(RandomStreamTest, SplitStreamsAreIndependent) {
+  RandomStream<double> Base(21);
+  auto S0 = Base.split(0);
+  auto S1 = Base.split(1);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += (S0.generator()() == S1.generator()());
+  EXPECT_LT(Same, 2);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===-- tests/support/SupportMiscTest.cpp - Stats/timer/env/topology -----===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AlignedAllocator.h"
+#include "support/CpuTopology.h"
+#include "support/EnvVar.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+using namespace hichi;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.stddev(), 2.138, 1e-3); // sample stddev
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats S;
+  S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 3.5);
+  EXPECT_DOUBLE_EQ(S.max(), 3.5);
+}
+
+TEST(MedianTest, OddAndEvenCounts) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+}
+
+TEST(RelativeDifferenceTest, Properties) {
+  EXPECT_DOUBLE_EQ(relativeDifference(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relativeDifference(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(relativeDifference(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(relativeDifference(2.0, 1.0), 0.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Timer / NSPS
+//===----------------------------------------------------------------------===//
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch W;
+  volatile double Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + 1.0;
+  EXPECT_GT(W.elapsedNanoseconds(), 0);
+  EXPECT_GE(W.elapsedSeconds(), 0.0);
+}
+
+TEST(NspsTest, MatchesThePaperDefinition) {
+  // "the average time of one iteration in nanoseconds, divided by the
+  // number of particles (1e7) and by the number of steps in one iteration
+  // (1e3)" — Section 5.2. 10 iterations of 5.3 ms each over 1e7 x 1e3
+  // particle-steps is 0.53 NSPS (the Table 2 headline cell).
+  double TotalNs = 10 * 5.3e9;
+  EXPECT_NEAR(nsPerParticlePerStep(TotalNs, 10, 1e7, 1e3), 0.53, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Aligned allocation
+//===----------------------------------------------------------------------===//
+
+TEST(AlignedAllocTest, ReturnsAlignedPointers) {
+  for (std::size_t Bytes : {1u, 63u, 64u, 100u, 4096u}) {
+    void *P = alignedAlloc(Bytes);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P) % HICHI_CACHELINE_SIZE, 0u);
+    alignedFree(P);
+  }
+}
+
+TEST(AlignedAllocTest, ZeroBytesGivesNull) {
+  EXPECT_EQ(alignedAlloc(0), nullptr);
+  alignedFree(nullptr); // must be a no-op
+}
+
+TEST(AlignedAllocatorTest, WorksWithStdVector) {
+  std::vector<double, AlignedAllocator<double>> V(1000, 1.5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(V.data()) % 64, 0u);
+  EXPECT_DOUBLE_EQ(V[999], 1.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Environment variables
+//===----------------------------------------------------------------------===//
+
+TEST(EnvVarTest, StringRoundTrip) {
+  ::setenv("HICHI_TEST_STR", "hello", 1);
+  auto V = getEnvString("HICHI_TEST_STR");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, "hello");
+  ::unsetenv("HICHI_TEST_STR");
+  EXPECT_FALSE(getEnvString("HICHI_TEST_STR").has_value());
+}
+
+TEST(EnvVarTest, IntParsing) {
+  ::setenv("HICHI_TEST_INT", "42", 1);
+  EXPECT_EQ(getEnvInt("HICHI_TEST_INT"), 42);
+  ::setenv("HICHI_TEST_INT", "-7", 1);
+  EXPECT_EQ(getEnvInt("HICHI_TEST_INT"), -7);
+  ::setenv("HICHI_TEST_INT", "not-a-number", 1);
+  EXPECT_FALSE(getEnvInt("HICHI_TEST_INT").has_value());
+  ::setenv("HICHI_TEST_INT", "12abc", 1);
+  EXPECT_FALSE(getEnvInt("HICHI_TEST_INT").has_value());
+  ::unsetenv("HICHI_TEST_INT");
+}
+
+TEST(EnvVarTest, EnvEqualsExactMatch) {
+  ::setenv("HICHI_TEST_PLACES", "numa_domains", 1);
+  EXPECT_TRUE(envEquals("HICHI_TEST_PLACES", "numa_domains"));
+  EXPECT_FALSE(envEquals("HICHI_TEST_PLACES", "NUMA_DOMAINS"));
+  ::unsetenv("HICHI_TEST_PLACES");
+  EXPECT_FALSE(envEquals("HICHI_TEST_PLACES", "numa_domains"));
+}
+
+//===----------------------------------------------------------------------===//
+// CPU topology
+//===----------------------------------------------------------------------===//
+
+TEST(CpuTopologyTest, PaperNodeMatchesTable1) {
+  auto T = CpuTopology::paperNode();
+  EXPECT_EQ(T.domainCount(), 2);
+  EXPECT_EQ(T.coresPerDomain(), 24);
+  EXPECT_EQ(T.coreCount(), 48); // Table 1: "48 cores overall"
+}
+
+TEST(CpuTopologyTest, DomainOfCoreIsBlockwise) {
+  CpuTopology T(2, 4);
+  EXPECT_EQ(T.domainOfCore(0), 0);
+  EXPECT_EQ(T.domainOfCore(3), 0);
+  EXPECT_EQ(T.domainOfCore(4), 1);
+  EXPECT_EQ(T.domainOfCore(7), 1);
+}
+
+TEST(CpuTopologyTest, CoresOfDomainAreContiguous) {
+  CpuTopology T(3, 2);
+  EXPECT_EQ(T.coresOfDomain(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(T.coresOfDomain(2), (std::vector<int>{4, 5}));
+}
+
+TEST(CpuTopologyTest, DetectHonoursOverride) {
+  ::setenv("HICHI_TOPOLOGY", "2x6", 1);
+  auto T = CpuTopology::detect();
+  EXPECT_EQ(T.domainCount(), 2);
+  EXPECT_EQ(T.coresPerDomain(), 6);
+  ::unsetenv("HICHI_TOPOLOGY");
+}
+
+TEST(CpuTopologyTest, DetectSurvivesMalformedOverride) {
+  ::setenv("HICHI_TOPOLOGY", "banana", 1);
+  auto T = CpuTopology::detect();
+  EXPECT_GE(T.coreCount(), 1);
+  ::unsetenv("HICHI_TOPOLOGY");
+}
+
+} // namespace

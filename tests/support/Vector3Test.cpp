@@ -1,0 +1,125 @@
+//===-- tests/support/Vector3Test.cpp - Vector3 unit tests ---------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Vector3.h"
+
+#include <gtest/gtest.h>
+
+using namespace hichi;
+
+namespace {
+
+template <typename Real> class Vector3TypedTest : public ::testing::Test {};
+using RealTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(Vector3TypedTest, RealTypes);
+
+TYPED_TEST(Vector3TypedTest, DefaultConstructionIsZero) {
+  Vector3<TypeParam> V;
+  EXPECT_EQ(V.X, TypeParam(0));
+  EXPECT_EQ(V.Y, TypeParam(0));
+  EXPECT_EQ(V.Z, TypeParam(0));
+}
+
+TYPED_TEST(Vector3TypedTest, ComponentAccessors) {
+  Vector3<TypeParam> V(1, 2, 3);
+  EXPECT_EQ(V[0], TypeParam(1));
+  EXPECT_EQ(V[1], TypeParam(2));
+  EXPECT_EQ(V[2], TypeParam(3));
+  V.component(1) = TypeParam(7);
+  EXPECT_EQ(V.Y, TypeParam(7));
+}
+
+TYPED_TEST(Vector3TypedTest, ArithmeticOperators) {
+  using V3 = Vector3<TypeParam>;
+  V3 A(1, 2, 3), B(4, 5, 6);
+  EXPECT_EQ(A + B, V3(5, 7, 9));
+  EXPECT_EQ(B - A, V3(3, 3, 3));
+  EXPECT_EQ(A * TypeParam(2), V3(2, 4, 6));
+  EXPECT_EQ(TypeParam(2) * A, V3(2, 4, 6));
+  EXPECT_EQ(A / TypeParam(2), V3(0.5, 1, 1.5));
+  EXPECT_EQ(-A, V3(-1, -2, -3));
+}
+
+TYPED_TEST(Vector3TypedTest, CompoundAssignment) {
+  using V3 = Vector3<TypeParam>;
+  V3 A(1, 2, 3);
+  A += V3(1, 1, 1);
+  EXPECT_EQ(A, V3(2, 3, 4));
+  A -= V3(2, 3, 4);
+  EXPECT_EQ(A, V3(0, 0, 0));
+  A = V3(1, 2, 3);
+  A *= TypeParam(3);
+  EXPECT_EQ(A, V3(3, 6, 9));
+  A /= TypeParam(3);
+  EXPECT_EQ(A, V3(1, 2, 3));
+}
+
+TYPED_TEST(Vector3TypedTest, DotProduct) {
+  Vector3<TypeParam> A(1, 2, 3), B(4, -5, 6);
+  EXPECT_EQ(dot(A, B), TypeParam(4 - 10 + 18));
+  EXPECT_EQ(dot(A, A), A.norm2());
+}
+
+TYPED_TEST(Vector3TypedTest, CrossProductBasisVectors) {
+  using V3 = Vector3<TypeParam>;
+  EXPECT_EQ(cross(V3::unitX(), V3::unitY()), V3::unitZ());
+  EXPECT_EQ(cross(V3::unitY(), V3::unitZ()), V3::unitX());
+  EXPECT_EQ(cross(V3::unitZ(), V3::unitX()), V3::unitY());
+  EXPECT_EQ(cross(V3::unitY(), V3::unitX()), -V3::unitZ());
+}
+
+TYPED_TEST(Vector3TypedTest, CrossProductIsPerpendicular) {
+  Vector3<TypeParam> A(1, 2, 3), B(-2, 1, 5);
+  auto C = cross(A, B);
+  EXPECT_NEAR(dot(C, A), TypeParam(0), TypeParam(1e-5));
+  EXPECT_NEAR(dot(C, B), TypeParam(0), TypeParam(1e-5));
+}
+
+TYPED_TEST(Vector3TypedTest, CrossProductAntiSymmetry) {
+  Vector3<TypeParam> A(3, -1, 2), B(0, 4, -2);
+  EXPECT_EQ(cross(A, B), -cross(B, A));
+  EXPECT_EQ(cross(A, A), Vector3<TypeParam>::zero());
+}
+
+TYPED_TEST(Vector3TypedTest, NormAndNormalized) {
+  Vector3<TypeParam> V(3, 4, 0);
+  EXPECT_EQ(V.norm2(), TypeParam(25));
+  EXPECT_NEAR(V.norm(), TypeParam(5), TypeParam(1e-6));
+  auto U = V.normalized();
+  EXPECT_NEAR(U.norm(), TypeParam(1), TypeParam(1e-6));
+  // Zero vector maps to itself (documented NaN-avoidance behaviour).
+  EXPECT_EQ(Vector3<TypeParam>::zero().normalized(),
+            Vector3<TypeParam>::zero());
+}
+
+TYPED_TEST(Vector3TypedTest, MinMaxHadamard) {
+  using V3 = Vector3<TypeParam>;
+  V3 A(1, 5, -3), B(2, 4, -6);
+  EXPECT_EQ(min(A, B), V3(1, 4, -6));
+  EXPECT_EQ(max(A, B), V3(2, 5, -3));
+  EXPECT_EQ(hadamard(A, B), V3(2, 20, 18));
+}
+
+TYPED_TEST(Vector3TypedTest, DistanceAndCast) {
+  Vector3<TypeParam> A(0, 0, 0), B(1, 2, 2);
+  EXPECT_NEAR(distance(A, B), TypeParam(3), TypeParam(1e-6));
+  auto D = vectorCast<double>(B);
+  EXPECT_DOUBLE_EQ(D.Y, 2.0);
+}
+
+TEST(Vector3Test, SplatAndUnits) {
+  auto V = Vector3<double>::splat(2.5);
+  EXPECT_EQ(V, Vector3<double>(2.5, 2.5, 2.5));
+  EXPECT_EQ(Vector3<double>::unitX().norm2(), 1.0);
+}
+
+TEST(Vector3Test, PackingForAoS) {
+  // The AoS layout and the perf model's byte accounting depend on these.
+  EXPECT_EQ(sizeof(Vector3<float>), 12u);
+  EXPECT_EQ(sizeof(Vector3<double>), 24u);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+//===-- tools/hichi_push.cpp - The pusher benchmark as a CLI -------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver for the paper's benchmark: pick scenario, layout,
+/// parallelization, precision, pusher, device and sizes; get NSPS. This
+/// is the "run one cell of Table 2/3 yourself" tool:
+///
+/// \code
+///   hichi_push --scenario analytical --layout soa --runner dpcpp-numa
+///       --precision float --particles 1000000 --steps 100
+///   hichi_push --device xemax --layout aos     # Table 3 flavour
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Core.h"
+#include "core/RadiationReaction.h"
+#include "fields/DipoleWave.h"
+#include "fields/PrecalculatedFields.h"
+#include "perfmodel/WorkloadModel.h"
+#include "support/ArgParse.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace hichi;
+
+namespace {
+
+struct Config {
+  bool Analytical = false;
+  bool SoA = false;
+  bool SinglePrecision = true;
+  RunnerKind Kind = RunnerKind::Dpcpp;
+  std::string Device = "cpu";
+  std::string Pusher = "boris";
+  Index Particles = 1'000'000;
+  int Steps = 50;
+  int Iterations = 3;
+};
+
+template <typename Real, typename Array, typename Pusher>
+int runBenchmark(const Config &Cfg) {
+  Array Particles(Cfg.Particles);
+  const Real Radius = Real(dipole_benchmark::SeedRadiusFactor *
+                           dipole_benchmark::Wavelength);
+  initializeBallAtRest(Particles, Cfg.Particles, Vector3<Real>::zero(),
+                       Radius, PS_Electron);
+  auto Types = ParticleTypeTable<Real>::cgs();
+  auto Wave = DipoleWaveSource<Real>::paperBenchmark();
+  const Real Dt = Real(dipole_benchmark::TimeStepFraction * 2.0 *
+                       constants::Pi / dipole_benchmark::WaveFrequency);
+
+  minisycl::device Dev = Cfg.Device == "p630"
+                             ? minisycl::gpu_device_p630()
+                         : Cfg.Device == "xemax"
+                             ? minisycl::gpu_device_iris_xe_max()
+                             : minisycl::cpu_device();
+  minisycl::queue Queue{Dev};
+
+  RunnerOptions<Real> Opts;
+  Opts.Kind = Cfg.Kind;
+  auto Profile = perfmodel::gpuKernelProfile(
+      Cfg.Analytical ? perfmodel::Scenario::AnalyticalFields
+                     : perfmodel::Scenario::PrecalculatedFields,
+      Cfg.SoA ? perfmodel::Layout::SoA : perfmodel::Layout::AoS,
+      Cfg.SinglePrecision ? perfmodel::Precision::Single
+                          : perfmodel::Precision::Double);
+  if (Dev.is_gpu())
+    Opts.GpuWorkload = &Profile;
+
+  PrecalculatedFields<Real> Stored(Cfg.Particles);
+  if (!Cfg.Analytical)
+    Stored.precompute(Particles, Wave, Real(0));
+
+  auto RunOnce = [&]() -> RunStats {
+    if (Cfg.Analytical)
+      return runSimulation<Pusher>(Particles, Wave, Types, Dt, Cfg.Steps,
+                                   Opts, &Queue);
+    return runSimulation<Pusher>(Particles, Stored.source(), Types, Dt,
+                                 Cfg.Steps, Opts, &Queue);
+  };
+
+  RunOnce(); // warmup (JIT + first touch)
+  double TotalNs = 0;
+  for (int It = 0; It < Cfg.Iterations; ++It) {
+    RunStats Stats = RunOnce();
+    double IterNs = Dev.is_gpu() ? Stats.ModeledNs : Stats.HostNs;
+    TotalNs += IterNs;
+    std::printf("iteration %d: %.2f ms\n", It, IterNs / 1e6);
+  }
+  double Nsps = nsPerParticlePerStep(TotalNs, Cfg.Iterations,
+                                     double(Cfg.Particles),
+                                     double(Cfg.Steps));
+  std::printf("\nNSPS = %.3f ns/particle/step on '%s'%s\n", Nsps,
+              Dev.name().c_str(),
+              Dev.is_gpu() ? " (device-modeled)" : " (measured)");
+  return 0;
+}
+
+template <typename Real, typename Array> int dispatchPusher(const Config &C) {
+  if (C.Pusher == "vay")
+    return runBenchmark<Real, Array, VayPusher>(C);
+  if (C.Pusher == "higuera-cary")
+    return runBenchmark<Real, Array, HigueraCaryPusher>(C);
+  if (C.Pusher == "boris-rr")
+    return runBenchmark<Real, Array, RadiationReactionPusher<BorisPusher>>(C);
+  return runBenchmark<Real, Array, BorisPusher>(C);
+}
+
+template <typename Real> int dispatchLayout(const Config &C) {
+  if (C.SoA)
+    return dispatchPusher<Real, ParticleArraySoA<Real>>(C);
+  return dispatchPusher<Real, ParticleArrayAoS<Real>>(C);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("hichi_push: run one configuration of the paper's Boris "
+                 "pusher benchmark and report NSPS");
+  Args.addOption("scenario", "precalculated | analytical", "precalculated");
+  Args.addOption("layout", "aos | soa", "aos");
+  Args.addOption("runner", "serial | openmp | dpcpp | dpcpp-numa", "dpcpp");
+  Args.addOption("precision", "float | double", "float");
+  Args.addOption("pusher", "boris | vay | higuera-cary | boris-rr", "boris");
+  Args.addOption("device", "cpu | p630 | xemax", "cpu");
+  Args.addOption("particles", "ensemble size", "1000000");
+  Args.addOption("steps", "steps per iteration", "50");
+  Args.addOption("iterations", "measured iterations", "3");
+
+  if (!Args.parse(Argc, Argv)) {
+    std::fprintf(stderr, "error: %s\n", Args.error().c_str());
+    return 1;
+  }
+  if (Args.helpRequested()) {
+    Args.printHelp(Argv[0]);
+    return 0;
+  }
+
+  Config Cfg;
+  Cfg.Analytical = Args.getString("scenario") == "analytical";
+  Cfg.SoA = Args.getString("layout") == "soa";
+  Cfg.SinglePrecision = Args.getString("precision") != "double";
+  Cfg.Pusher = Args.getString("pusher");
+  Cfg.Device = Args.getString("device");
+  std::string Runner = Args.getString("runner");
+  Cfg.Kind = Runner == "serial"       ? RunnerKind::Serial
+             : Runner == "openmp"     ? RunnerKind::OpenMpStyle
+             : Runner == "dpcpp-numa" ? RunnerKind::DpcppNuma
+                                      : RunnerKind::Dpcpp;
+  Cfg.Particles = Index(Args.getInt("particles").value_or(1'000'000));
+  Cfg.Steps = int(Args.getInt("steps").value_or(50));
+  Cfg.Iterations = int(Args.getInt("iterations").value_or(3));
+
+  std::printf("scenario=%s layout=%s runner=%s precision=%s pusher=%s "
+              "device=%s N=%lld steps=%d\n\n",
+              Args.getString("scenario").c_str(),
+              Args.getString("layout").c_str(), Runner.c_str(),
+              Args.getString("precision").c_str(), Cfg.Pusher.c_str(),
+              Cfg.Device.c_str(), (long long)Cfg.Particles, Cfg.Steps);
+
+  if (Cfg.SinglePrecision)
+    return dispatchLayout<float>(Cfg);
+  return dispatchLayout<double>(Cfg);
+}
