@@ -7,8 +7,9 @@
 /// \file
 /// Shared machinery for the paper-reproduction benchmarks: the benchmark
 /// scenario builders (the Section 5.2 setup: electrons at rest in a
-/// 0.6-lambda ball pushed through the m-dipole wave), NSPS measurement,
-/// and table printing.
+/// 0.6-lambda ball pushed through the m-dipole wave), NSPS measurement
+/// over any registered execution backend, table printing, and a
+/// machine-readable JSON report writer.
 ///
 /// Every harness reports three numbers per cell:
 ///
@@ -18,9 +19,12 @@
 ///   measured — a real execution on this host at a reduced particle
 ///              count (NSPS is size-intensive), for functional evidence.
 ///
-/// Sizes are CI-friendly by default and overridable:
+/// Execution strategies are resolved by name through the
+/// exec::BackendRegistry, so every bench automatically picks up new
+/// backends. Sizes are CI-friendly by default and overridable:
 ///   HICHI_BENCH_PARTICLES (default 60000), HICHI_BENCH_STEPS (default
-///   30), HICHI_BENCH_ITERATIONS (default 3).
+///   30), HICHI_BENCH_ITERATIONS (default 3). Benches that support it
+///   write their records to the file named by HICHI_BENCH_JSON.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,10 +32,14 @@
 #define HICHI_BENCH_BENCHMARKHARNESS_H
 
 #include "core/Core.h"
+#include "exec/BackendRegistry.h"
+#include "exec/StepLoop.h"
 #include "fields/DipoleWave.h"
 #include "fields/PrecalculatedFields.h"
 #include "perfmodel/RooflineModel.h"
+#include "support/BenchReport.h"
 #include "support/EnvVar.h"
+#include "support/Statistics.h"
 
 #include <cstdio>
 #include <string>
@@ -59,6 +67,13 @@ struct BenchSizes {
   }
 };
 
+/// Per-measurement scheduling knobs on top of the backend choice.
+struct MeasureConfig {
+  int Threads = 0;   ///< 0 = all workers
+  Index Grain = 0;   ///< 0 = default dynamic grain
+  int FuseSteps = 1; ///< time steps per kernel/parallel region
+};
+
 /// The Section 5.2 initial condition in CGS units.
 template <typename Array> void initPaperEnsemble(Array &Particles, Index N) {
   using Real = typename Array::Scalar;
@@ -74,81 +89,106 @@ template <typename Real> Real paperTimeStep() {
               dipole_benchmark::WaveFrequency);
 }
 
-/// Measures NSPS of the analytical-fields scenario for one configuration.
-/// \returns {MeasuredNsps, ModeledNsps (from event times when modeled)}.
-template <typename Array>
-double measureAnalyticalNsps(RunnerKind Kind, const BenchSizes &Sizes,
-                             minisycl::queue *Queue,
-                             const gpusim::KernelProfile *GpuProfile =
-                                 nullptr) {
-  using Real = typename Array::Scalar;
-  Array Particles(Sizes.Particles);
-  initPaperEnsemble(Particles, Sizes.Particles);
-  auto Types = ParticleTypeTable<Real>::cgs();
-  auto Wave = DipoleWaveSource<Real>::paperBenchmark();
+/// \returns the backend named \p Name from the registry, or dies with a
+/// message listing what is available.
+inline std::unique_ptr<exec::ExecutionBackend>
+requireBackend(const std::string &Name, const MeasureConfig &Config = {}) {
+  exec::BackendConfig BC;
+  BC.Threads = Config.Threads;
+  BC.Grain = Config.Grain;
+  auto Backend = exec::createBackend(Name, BC);
+  if (!Backend) {
+    std::fprintf(stderr, "unknown backend '%s' (known: %s)\n", Name.c_str(),
+                 exec::listBackendNames(", ").c_str());
+    fatalError("benchmark requested an unregistered execution backend");
+  }
+  return Backend;
+}
 
-  RunnerOptions<Real> Opts;
-  Opts.Kind = Kind;
-  Opts.GpuWorkload = GpuProfile;
+/// Shared measurement loop: warmup once, then time Iterations runs of
+/// StepsPerIteration steps each over \p Fields.
+template <typename Array, typename FieldSource>
+MeasuredSeries measureSeries(Array &Particles, const FieldSource &Fields,
+                             const std::string &BackendName,
+                             const BenchSizes &Sizes, minisycl::queue *Queue,
+                             const gpusim::KernelProfile *GpuProfile,
+                             const MeasureConfig &Config) {
+  using Real = typename Array::Scalar;
+  auto Types = ParticleTypeTable<Real>::cgs();
+  auto Backend = requireBackend(BackendName, Config);
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = Queue;
+  Ctx.GpuWorkload = GpuProfile;
+  exec::StepLoopOptions<Real> Opts;
+  Opts.FuseSteps = Config.FuseSteps;
   const Real Dt = paperTimeStep<Real>();
 
   // Warmup iteration (the paper's first-iteration effect is measured by
   // its own dedicated bench; the tables use steady state).
-  runSimulation(Particles, Wave, Types, Dt, Sizes.StepsPerIteration, Opts,
-                Queue);
+  exec::runStepLoop(*Backend, Ctx, Particles, Fields, Types, Dt,
+                    Sizes.StepsPerIteration, Opts);
 
+  MeasuredSeries Out;
   double TotalNs = 0;
   for (int It = 0; It < Sizes.Iterations; ++It) {
-    auto Stats = runSimulation(Particles, Wave, Types, Dt,
-                               Sizes.StepsPerIteration, Opts, Queue);
-    TotalNs += GpuProfile ? Stats.ModeledNs : Stats.HostNs;
+    RunStats Stats =
+        exec::runStepLoop(*Backend, Ctx, Particles, Fields, Types, Dt,
+                          Sizes.StepsPerIteration, Opts);
+    const double IterNs = GpuProfile ? Stats.ModeledNs : Stats.HostNs;
+    Out.IterationNs.push_back(IterNs);
+    TotalNs += IterNs;
   }
-  return nsPerParticlePerStep(TotalNs, Sizes.Iterations,
-                              double(Sizes.Particles),
-                              double(Sizes.StepsPerIteration));
+  Out.Nsps = nsPerParticlePerStep(TotalNs, Sizes.Iterations,
+                                  double(Sizes.Particles),
+                                  double(Sizes.StepsPerIteration));
+  return Out;
 }
 
-/// Measures NSPS of the precalculated-fields scenario.
+/// Measures the analytical-fields scenario for one configuration.
 template <typename Array>
-double measurePrecalculatedNsps(RunnerKind Kind, const BenchSizes &Sizes,
-                                minisycl::queue *Queue,
-                                const gpusim::KernelProfile *GpuProfile =
-                                    nullptr) {
+MeasuredSeries
+measureAnalyticalSeries(const std::string &Backend, const BenchSizes &Sizes,
+                        minisycl::queue *Queue,
+                        const gpusim::KernelProfile *GpuProfile = nullptr,
+                        const MeasureConfig &Config = {}) {
   using Real = typename Array::Scalar;
   Array Particles(Sizes.Particles);
   initPaperEnsemble(Particles, Sizes.Particles);
-  auto Types = ParticleTypeTable<Real>::cgs();
   auto Wave = DipoleWaveSource<Real>::paperBenchmark();
-
-  PrecalculatedFields<Real> Stored(Sizes.Particles);
-  Stored.precompute(Particles, Wave, Real(0));
-
-  RunnerOptions<Real> Opts;
-  Opts.Kind = Kind;
-  Opts.GpuWorkload = GpuProfile;
-  const Real Dt = paperTimeStep<Real>();
-
-  runSimulation(Particles, Stored.source(), Types, Dt,
-                Sizes.StepsPerIteration, Opts, Queue);
-  double TotalNs = 0;
-  for (int It = 0; It < Sizes.Iterations; ++It) {
-    auto Stats = runSimulation(Particles, Stored.source(), Types, Dt,
-                               Sizes.StepsPerIteration, Opts, Queue);
-    TotalNs += GpuProfile ? Stats.ModeledNs : Stats.HostNs;
-  }
-  return nsPerParticlePerStep(TotalNs, Sizes.Iterations,
-                              double(Sizes.Particles),
-                              double(Sizes.StepsPerIteration));
+  return measureSeries(Particles, Wave, Backend, Sizes, Queue, GpuProfile,
+                       Config);
 }
 
-/// Dispatches on scenario.
+/// Measures the precalculated-fields scenario.
 template <typename Array>
-double measureNsps(perfmodel::Scenario S, RunnerKind Kind,
+MeasuredSeries
+measurePrecalculatedSeries(const std::string &Backend, const BenchSizes &Sizes,
+                           minisycl::queue *Queue,
+                           const gpusim::KernelProfile *GpuProfile = nullptr,
+                           const MeasureConfig &Config = {}) {
+  using Real = typename Array::Scalar;
+  Array Particles(Sizes.Particles);
+  initPaperEnsemble(Particles, Sizes.Particles);
+  auto Wave = DipoleWaveSource<Real>::paperBenchmark();
+  PrecalculatedFields<Real> Stored(Sizes.Particles);
+  Stored.precompute(Particles, Wave, Real(0));
+  return measureSeries(Particles, Stored.source(), Backend, Sizes, Queue,
+                       GpuProfile, Config);
+}
+
+/// Dispatches on scenario; \returns the NSPS metric only.
+template <typename Array>
+double measureNsps(perfmodel::Scenario S, const std::string &Backend,
                    const BenchSizes &Sizes, minisycl::queue *Queue,
-                   const gpusim::KernelProfile *GpuProfile = nullptr) {
+                   const gpusim::KernelProfile *GpuProfile = nullptr,
+                   const MeasureConfig &Config = {}) {
   if (S == perfmodel::Scenario::PrecalculatedFields)
-    return measurePrecalculatedNsps<Array>(Kind, Sizes, Queue, GpuProfile);
-  return measureAnalyticalNsps<Array>(Kind, Sizes, Queue, GpuProfile);
+    return measurePrecalculatedSeries<Array>(Backend, Sizes, Queue,
+                                             GpuProfile, Config)
+        .Nsps;
+  return measureAnalyticalSeries<Array>(Backend, Sizes, Queue, GpuProfile,
+                                        Config)
+      .Nsps;
 }
 
 /// Prints a horizontal rule of width \p Width.

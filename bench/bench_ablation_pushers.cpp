@@ -19,6 +19,9 @@ using namespace hichi::bench;
 
 namespace {
 
+/// Cost of one particle-step under \p Pusher, routed through the
+/// execution backend named by HICHI_BENCH_BACKEND (default "serial", so
+/// the default numbers isolate the scheme's arithmetic).
 template <typename Pusher>
 double costPerParticleStep(const BenchSizes &Sizes) {
   using Array = ParticleArrayAoS<double>;
@@ -28,20 +31,23 @@ double costPerParticleStep(const BenchSizes &Sizes) {
                            Vector3<double>::zero(), 1.0, 2.0, 1.0,
                            PS_Electron);
   auto Types = ParticleTypeTable<double>::natural();
-  const FieldSample<double> F{{0.1, 0, 0}, {0, 0, 1.0}};
-  auto View = Particles.view();
-  const auto *TypesPtr = Types.data();
+  UniformFieldSource<double> Field{{{0.1, 0, 0}, {0, 0, 1.0}}};
 
-  auto Pass = [&] {
-    for (Index I = 0; I < Sizes.Particles; ++I)
-      Pusher::template push<double>(View[I], F, TypesPtr, 0.01, 1.0);
-  };
-  Pass(); // warmup
-  Stopwatch Watch;
-  for (int R = 0; R < Sizes.StepsPerIteration; ++R)
-    Pass();
-  return double(Watch.elapsedNanoseconds()) /
-         (double(Sizes.Particles) * Sizes.StepsPerIteration);
+  const std::string BackendName =
+      getEnvString("HICHI_BENCH_BACKEND").value_or("serial");
+  auto Backend = requireBackend(BackendName);
+  minisycl::queue Queue{minisycl::cpu_device()};
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = &Queue;
+  exec::StepLoopOptions<double> Opts;
+  Opts.LightVelocity = 1.0;
+
+  exec::runStepLoop<Pusher>(*Backend, Ctx, Particles, Field, Types, 0.01, 1,
+                            Opts); // warmup
+  auto Stats = exec::runStepLoop<Pusher>(*Backend, Ctx, Particles, Field,
+                                         Types, 0.01,
+                                         Sizes.StepsPerIteration, Opts);
+  return Stats.HostNs / (double(Sizes.Particles) * Sizes.StepsPerIteration);
 }
 
 /// Momentum-direction error after one exact gyro-period at the given

@@ -5,17 +5,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Ablation of the design choices in Section 4.3: static vs dynamic
-/// scheduling, dynamic grain size, and NUMA arenas vs flat dynamic. The
-/// paper asserts that dynamic scheduling's overhead "may not be justified"
-/// for this balanced workload; this bench quantifies exactly that term on
-/// the host, and the model column shows the NUMA term the host (one
-/// domain) cannot exhibit.
+/// Ablation of the design choices in Section 4.3, driven entirely through
+/// the execution-backend registry: static vs dynamic scheduling, dynamic
+/// grain size, NUMA arenas vs flat dynamic, and multi-step kernel fusion
+/// (K time steps per submitted kernel). The paper asserts that dynamic
+/// scheduling's overhead "may not be justified" for this balanced
+/// workload; this bench quantifies exactly that term on the host — and
+/// the fusion section shows how amortizing the per-step submit/join cost
+/// closes the DPC++-vs-OpenMP gap. The model column shows the NUMA term
+/// the host (one domain) cannot exhibit.
+///
+/// Set HICHI_BENCH_JSON=<path> to also write the records as JSON.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchmarkHarness.h"
-#include "threading/TaskScheduler.h"
 
 using namespace hichi;
 using namespace hichi::bench;
@@ -23,67 +27,109 @@ using namespace hichi::perfmodel;
 
 namespace {
 
-/// Times one full pass over the ensemble with the given loop flavour.
-template <typename LoopFn> double timeLoop(int Repeats, LoopFn &&Loop) {
-  Loop(); // warmup
-  Stopwatch Watch;
-  for (int R = 0; R < Repeats; ++R)
-    Loop();
-  return double(Watch.elapsedNanoseconds()) / Repeats;
+/// Runs the analytical-fields scenario (SoA, float — the paper's fastest
+/// CPU row) and returns the measured series.
+MeasuredSeries measure(const std::string &Backend, const BenchSizes &Sizes,
+                       minisycl::queue *Queue, const MeasureConfig &Config) {
+  return measureAnalyticalSeries<ParticleArraySoA<float>>(
+      Backend, Sizes, Queue, /*GpuProfile=*/nullptr, Config);
+}
+
+BenchRecord recordOf(const std::string &Backend, const BenchSizes &Sizes,
+                     const MeasureConfig &Config,
+                     const MeasuredSeries &Series) {
+  BenchRecord R;
+  R.Backend = Backend;
+  R.Scenario = "analytical";
+  R.Layout = "soa";
+  R.Precision = "float";
+  R.Particles = (long long)Sizes.Particles;
+  R.Steps = Sizes.StepsPerIteration;
+  R.Iterations = Sizes.Iterations;
+  R.FuseSteps = Config.FuseSteps;
+  R.Threads = Config.Threads;
+  R.setSeries(Series);
+  return R;
 }
 
 } // namespace
 
 int main() {
   const BenchSizes Sizes = BenchSizes::fromEnv();
-  const Index N = Sizes.Particles;
+  minisycl::queue Queue{minisycl::cpu_device()};
+  JsonReport Report("bench_ablation_scheduling");
 
-  using Array = ParticleArraySoA<float>;
-  Array Particles(N);
-  initPaperEnsemble(Particles, N);
-  auto Types = ParticleTypeTable<float>::cgs();
-  auto Wave = DipoleWaveSource<float>::paperBenchmark();
-  const float Dt = paperTimeStep<float>();
-  auto View = Particles.view();
-  const auto *TypesPtr = Types.data();
+  std::printf("Scheduling ablation (Section 4.3) through the backend "
+              "registry: %lld particles x %d steps x %d iterations\n\n",
+              (long long)Sizes.Particles, Sizes.StepsPerIteration,
+              Sizes.Iterations);
 
-  auto Body = [=](Index I) {
-    auto P = View[I];
-    BorisPusher::push<float>(P, Wave(P.position(), 0.0f, I), TypesPtr, Dt,
-                             float(constants::LightVelocity));
-  };
-
-  threading::ThreadPool &Pool = threading::ThreadPool::global();
-  const int Width = Pool.maxWidth();
-  const int Repeats = std::max(1, Sizes.StepsPerIteration / 3);
-
-  std::printf("Scheduling ablation (Section 4.3): one pusher pass over "
-              "%lld particles, %d threads\n\n",
-              (long long)N, Width);
-
-  double StaticNs = timeLoop(Repeats, [&] {
-    threading::staticParallelFor(Pool, 0, N, Width, Body);
-  });
-  std::printf("%-34s %10.3f ms  (baseline: OpenMP-style)\n",
-              "static, contiguous blocks", StaticNs / 1e6);
-
-  for (Index Grain : {Index(16), Index(64), Index(256), Index(1024),
-                      Index(4096), Index(16384)}) {
-    double DynNs = timeLoop(Repeats, [&] {
-      threading::dynamicParallelFor(Pool, 0, N, Width, Grain, Body);
-    });
-    std::printf("%-34s %10.3f ms  (%+5.1f%% vs static)\n",
-                ("dynamic, grain " + std::to_string(Grain)).c_str(),
-                DynNs / 1e6, 100.0 * (DynNs - StaticNs) / StaticNs);
+  // --- Strategy sweep: every registered backend, default configuration.
+  std::printf("%-34s %10s  %s\n", "backend", "median ms", "per-iteration");
+  printRule(72);
+  double StaticNs = 0;
+  for (const std::string &Name : exec::BackendRegistry::instance().names()) {
+    MeasureConfig Config;
+    MeasuredSeries Series = measure(Name, Sizes, &Queue, Config);
+    Report.add(recordOf(Name, Sizes, Config, Series));
+    if (Name == "openmp")
+      StaticNs = Series.medianNs();
+    std::printf("%-34s %10.3f  (%s)\n", Name.c_str(),
+                Series.medianNs() / 1e6,
+                exec::BackendRegistry::instance().description(Name).c_str());
   }
 
-  CpuTopology Topology = CpuTopology::detect();
-  double NumaNs = timeLoop(Repeats, [&] {
-    threading::numaParallelFor(Pool, Topology, 0, N, Width, Body);
-  });
-  std::printf("%-34s %10.3f ms  (%+5.1f%% vs static)\n",
-              "NUMA arenas, default grain", NumaNs / 1e6,
-              100.0 * (NumaNs - StaticNs) / StaticNs);
+  // --- Dynamic grain sweep: the dpcpp backend with explicit grains.
+  std::printf("\n%-34s %10s  vs openmp static\n", "dpcpp dynamic grain",
+              "median ms");
+  printRule(72);
+  for (Index Grain : {Index(16), Index(64), Index(256), Index(1024),
+                      Index(4096), Index(16384)}) {
+    MeasureConfig Config;
+    Config.Grain = Grain;
+    MeasuredSeries Series = measure("dpcpp", Sizes, &Queue, Config);
+    Report.add(recordOf("dpcpp", Sizes, Config, Series));
+    std::printf("%-34s %10.3f  (%+5.1f%%)\n",
+                ("grain " + std::to_string((long long)Grain)).c_str(),
+                Series.medianNs() / 1e6,
+                StaticNs > 0
+                    ? 100.0 * (Series.medianNs() - StaticNs) / StaticNs
+                    : 0.0);
+  }
+
+  // --- Multi-step kernel fusion: K steps per submitted kernel. The
+  // per-step submit/join overhead (one handler allocation, one
+  // fork/join, one event) is paid once per K steps, so fused must never
+  // be slower — and the smaller the per-step work, the larger the win.
+  std::printf("\n%-34s %10s  vs unfused dpcpp\n", "kernel fusion (dpcpp)",
+              "median ms");
+  printRule(72);
+  double UnfusedNs = 0;
+  for (int Fuse : {1, 2, 4, 8, 16}) {
+    MeasureConfig Config;
+    Config.FuseSteps = Fuse;
+    MeasuredSeries Series = measure("dpcpp", Sizes, &Queue, Config);
+    Report.add(recordOf("dpcpp", Sizes, Config, Series));
+    if (Fuse == 1)
+      UnfusedNs = Series.medianNs();
+    std::printf("%-34s %10.3f  (%+5.1f%%)\n",
+                ("fuse " + std::to_string(Fuse) + " steps/kernel").c_str(),
+                Series.medianNs() / 1e6,
+                UnfusedNs > 0
+                    ? 100.0 * (Series.medianNs() - UnfusedNs) / UnfusedNs
+                    : 0.0);
+  }
+  // The same fusion through the static backend (one parallel region per
+  // K steps instead of one per step).
+  for (int Fuse : {1, 8}) {
+    MeasureConfig Config;
+    Config.FuseSteps = Fuse;
+    MeasuredSeries Series = measure("openmp", Sizes, &Queue, Config);
+    Report.add(recordOf("openmp", Sizes, Config, Series));
+    std::printf("%-34s %10.3f\n",
+                ("openmp, fuse " + std::to_string(Fuse)).c_str(),
+                Series.medianNs() / 1e6);
+  }
 
   // The term the host cannot show: the cross-socket penalty of flat
   // dynamic scheduling on the paper's 2-socket node, from the model.
@@ -98,5 +144,7 @@ int main() {
   std::printf("\nmodeled on the paper's 2-socket node: flat dynamic %.2f "
               "NSPS vs NUMA arenas %.2f NSPS (%.0f%% penalty removed)\n",
               Flat, Arena, 100.0 * (Flat - Arena) / Flat);
+
+  Report.writeEnvRequested();
   return 0;
 }

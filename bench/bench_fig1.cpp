@@ -40,26 +40,18 @@ constexpr Series AllSeries[] = {
 template <typename Array>
 double measureWithThreads(Parallelization Par, int Threads,
                           const BenchSizes &Sizes, minisycl::queue &Queue) {
-  RunnerOptions<float> Opts;
-  Opts.Kind = Par == Parallelization::OpenMP ? RunnerKind::OpenMpStyle
-                                             : RunnerKind::DpcppNuma;
-  Opts.Threads = Threads;
-  Array Particles(Sizes.Particles);
-  initPaperEnsemble(Particles, Sizes.Particles);
-  auto Types = ParticleTypeTable<float>::cgs();
-  auto Wave = DipoleWaveSource<float>::paperBenchmark();
-  PrecalculatedFields<float> Stored(Sizes.Particles);
-  Stored.precompute(Particles, Wave, 0.0f);
-  const float Dt = paperTimeStep<float>();
-
+  // The scaling series pins the worker count through the backend config;
+  // everything else is the standard precalculated-fields measurement.
+  const std::string Backend =
+      Par == Parallelization::OpenMP ? "openmp" : "dpcpp-numa";
   minisycl::queue *Q = Par == Parallelization::OpenMP ? nullptr : &Queue;
-  runSimulation(Particles, Stored.source(), Types, Dt,
-                Sizes.StepsPerIteration, Opts, Q); // warmup
+  MeasureConfig Config;
+  Config.Threads = Threads;
+  MeasuredSeries Series = measurePrecalculatedSeries<Array>(
+      Backend, Sizes, Q, /*GpuProfile=*/nullptr, Config);
   double TotalNs = 0;
-  for (int It = 0; It < Sizes.Iterations; ++It)
-    TotalNs += runSimulation(Particles, Stored.source(), Types, Dt,
-                             Sizes.StepsPerIteration, Opts, Q)
-                   .HostNs;
+  for (double Ns : Series.IterationNs)
+    TotalNs += Ns;
   return TotalNs;
 }
 

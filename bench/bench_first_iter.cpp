@@ -41,14 +41,15 @@ int main() {
   Stored.precompute(Particles, Wave, 0.0f);
 
   minisycl::queue Queue{minisycl::cpu_device()};
-  RunnerOptions<float> Opts;
-  Opts.Kind = RunnerKind::Dpcpp;
+  auto Backend = requireBackend("dpcpp");
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = &Queue;
   const float Dt = paperTimeStep<float>();
 
   std::vector<double> IterNs;
   for (int It = 0; It < Sizes.Iterations; ++It) {
-    auto Stats = runSimulation(Particles, Stored.source(), Types, Dt,
-                               Sizes.StepsPerIteration, Opts, &Queue);
+    auto Stats = exec::runStepLoop(*Backend, Ctx, Particles, Stored.source(),
+                                   Types, Dt, Sizes.StepsPerIteration);
     IterNs.push_back(Stats.HostNs);
   }
   double Steady = median(std::vector<double>(IterNs.begin() + 1, IterNs.end()));

@@ -15,6 +15,7 @@
 
 #include "core/BatchPusher.h"
 #include "core/Core.h"
+#include "exec/BackendRegistry.h"
 #include "fields/DipoleWave.h"
 #include "fields/FieldGrid.h"
 #include "pic/CurrentDeposition.h"
@@ -223,6 +224,43 @@ void BM_KernelSubmitOverhead(benchmark::State &State) {
 }
 BENCHMARK(BM_KernelSubmitOverhead);
 
+/// Per-launch overhead of each registered execution backend: a one-item,
+/// one-step kernel measures exactly the submit/fork/join term that
+/// multi-step fusion amortizes (the overhead column behind the DPC++ vs
+/// OpenMP rows of Table 2).
+void backendLaunchBody(benchmark::State &State, const std::string &Name) {
+  auto Backend = hichi::exec::createBackend(Name, {/*Threads=*/1});
+  minisycl::queue Q{minisycl::cpu_device()};
+  hichi::exec::ExecutionContext Ctx;
+  Ctx.Queue = &Q;
+  int Sink = 0;
+  auto Body = [&](Index, Index, int, int) {
+    benchmark::DoNotOptimize(++Sink);
+  };
+  hichi::exec::StepKernel Kernel(
+      Body, hichi::exec::kernelIdentity<decltype(Body)>());
+  hichi::RunStats Stats;
+  for (auto _ : State)
+    Backend->launch({1, 0, 1}, Kernel, Ctx, Stats);
+}
+
+void registerBackendLaunchBenchmarks() {
+  for (const std::string &Name :
+       hichi::exec::BackendRegistry::instance().names())
+    benchmark::RegisterBenchmark(("BM_BackendLaunch/" + Name).c_str(),
+                                 [Name](benchmark::State &State) {
+                                   backendLaunchBody(State, Name);
+                                 });
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  registerBackendLaunchBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,14 +45,15 @@ constexpr double PaperTable2[6][2][2] = {
     {{0.85, 1.49}, {0.77, 1.31}}, {{0.58, 1.20}, {0.60, 0.90}},
 };
 
-RunnerKind kindOf(Parallelization Par) {
+/// Maps the model's Parallelization axis onto exec registry names.
+const char *backendOf(Parallelization Par) {
   switch (Par) {
   case Parallelization::OpenMP:
-    return RunnerKind::OpenMpStyle;
+    return "openmp";
   case Parallelization::Dpcpp:
-    return RunnerKind::Dpcpp;
+    return "dpcpp";
   case Parallelization::DpcppNuma:
-    return RunnerKind::DpcppNuma;
+    return "dpcpp-numa";
   }
   unreachable("bad Parallelization");
 }
@@ -60,11 +61,11 @@ RunnerKind kindOf(Parallelization Par) {
 template <typename Real>
 double measureCell(Layout L, Parallelization Par, Scenario S,
                    const BenchSizes &Sizes, minisycl::queue &Queue) {
-  RunnerKind Kind = kindOf(Par);
+  const std::string Backend = backendOf(Par);
   minisycl::queue *Q = Par == Parallelization::OpenMP ? nullptr : &Queue;
   if (L == Layout::AoS)
-    return measureNsps<ParticleArrayAoS<Real>>(S, Kind, Sizes, Q);
-  return measureNsps<ParticleArraySoA<Real>>(S, Kind, Sizes, Q);
+    return measureNsps<ParticleArrayAoS<Real>>(S, Backend, Sizes, Q);
+  return measureNsps<ParticleArraySoA<Real>>(S, Backend, Sizes, Q);
 }
 
 } // namespace

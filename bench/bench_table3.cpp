@@ -36,7 +36,7 @@ double runOnGpu(Scenario S, minisycl::device Dev, Layout L,
                 const BenchSizes &Sizes) {
   minisycl::queue Q{Dev};
   auto Profile = gpuKernelProfile(S, L, Precision::Single);
-  return measureNsps<Array>(S, RunnerKind::Dpcpp, Sizes, &Q, &Profile);
+  return measureNsps<Array>(S, "dpcpp", Sizes, &Q, &Profile);
 }
 
 void printTable1() {

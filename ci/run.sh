@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# CI entry point: Release build, full test suite, and a smoke benchmark
+# pass at tiny sizes whose JSON records land in results/ as artifacts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+mkdir -p results
+
+# Tiny sizes so the smoke pass takes seconds; the point is functional
+# coverage plus a machine-readable perf trace, not stable numbers.
+export HICHI_BENCH_PARTICLES="${HICHI_BENCH_PARTICLES:-4000}"
+export HICHI_BENCH_STEPS="${HICHI_BENCH_STEPS:-8}"
+export HICHI_BENCH_ITERATIONS="${HICHI_BENCH_ITERATIONS:-2}"
+
+HICHI_BENCH_JSON=results/BENCH_scheduling.json ./build/bench_ablation_scheduling
+
+./build/hichi_push --list-runners
+for RUNNER in serial openmp dpcpp dpcpp-numa; do
+  ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
+    --iterations 2 --json "results/BENCH_push_${RUNNER}.json" \
+    | grep -E "NSPS|state hash"
+done
+
+# All four runners must agree bitwise on the final particle state.
+HASHES="$(for RUNNER in serial openmp dpcpp dpcpp-numa; do
+  ./build/hichi_push --runner "$RUNNER" --particles 5000 --steps 5 \
+    --iterations 1 | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+done | sort -u | wc -l)"
+if [ "$HASHES" != "1" ]; then
+  echo "FAIL: runners disagree on the final particle state" >&2
+  exit 1
+fi
+echo "runner equivalence: OK (all state hashes identical)"
+
+# The JSON artifacts must parse.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import glob, json
+files = glob.glob("results/BENCH_*.json")
+assert files, "no JSON artifacts produced"
+for f in files:
+    with open(f) as fh:
+        doc = json.load(fh)
+    assert doc["schema"] == "hichi-bench-v1" and doc["results"], f
+print(f"JSON artifacts: OK ({len(files)} files)")
+EOF
+fi
+
+echo "ci/run.sh: all green"

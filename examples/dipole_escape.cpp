@@ -51,8 +51,10 @@ int main(int Argc, char **Argv) {
   auto Wave = DipoleWaveSource<double>::paperBenchmark();
 
   minisycl::queue Queue{minisycl::cpu_device()};
-  RunnerOptions<double> Options;
-  Options.Kind = RunnerKind::Dpcpp;
+  auto Backend = exec::createBackend("dpcpp"); // any registered name works
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = &Queue;
+  exec::StepLoopOptions<double> Options;
 
   auto CountInside = [&](double Radius) {
     Index Inside = 0;
@@ -74,8 +76,8 @@ int main(int Argc, char **Argv) {
     if (P == Periods)
       break;
     Options.StartTime = double(P) * Period;
-    runSimulation(Particles, Wave, Types, Dt, StepsPerPeriod, Options,
-                  &Queue);
+    exec::runStepLoop(*Backend, Ctx, Particles, Wave, Types, Dt,
+                      StepsPerPeriod, Options);
   }
 
   std::printf("\nInterpretation: the fraction remaining at the focus when "

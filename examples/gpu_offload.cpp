@@ -35,8 +35,10 @@ double runOn(minisycl::device Dev, Layout L, Index N) {
   auto Wave = DipoleWaveSource<Real>::fromPower(1, 1, 1);
 
   minisycl::queue Queue{Dev};
-  RunnerOptions<Real> Opts;
-  Opts.Kind = RunnerKind::Dpcpp;
+  auto Backend = exec::createBackend("dpcpp");
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = &Queue;
+  exec::StepLoopOptions<Real> Opts;
   Opts.LightVelocity = Real(1);
 
   // On simulated GPUs, attach the workload profile so events report
@@ -44,13 +46,14 @@ double runOn(minisycl::device Dev, Layout L, Index N) {
   gpusim::KernelProfile Profile =
       gpuKernelProfile(Scenario::AnalyticalFields, L, Precision::Single);
   if (Dev.is_gpu())
-    Opts.GpuWorkload = &Profile;
+    Ctx.GpuWorkload = &Profile;
 
   // Warmup step: absorbs the (modeled) JIT compilation of the kernel at
   // first launch — the paper's first-iteration effect (Section 5.3).
-  runSimulation(Particles, Wave, Types, Real(0.01), 1, Opts, &Queue);
-  auto Stats = runSimulation(Particles, Wave, Types, Real(0.01), 20, Opts,
-                             &Queue);
+  exec::runStepLoop(*Backend, Ctx, Particles, Wave, Types, Real(0.01), 1,
+                    Opts);
+  auto Stats = exec::runStepLoop(*Backend, Ctx, Particles, Wave, Types,
+                                 Real(0.01), 20, Opts);
   return Stats.ModeledNs / double(N) / 20.0;
 }
 

@@ -33,15 +33,18 @@ int main() {
   // 3. The species table (masses/charges indexed by Particle::Type).
   auto Types = ParticleTypeTable<double>::natural();
 
-  // 4. Run 500 Boris steps through the DPC++-style execution path: one
-  //    miniSYCL kernel per step, dynamic scheduling, USM memory.
+  // 4. Run 500 Boris steps through the DPC++-style execution backend,
+  //    resolved by name from the registry (try "serial", "openmp" or
+  //    "dpcpp-numa" — results are bit-identical by construction).
   minisycl::queue Queue; // default device; MINISYCL_DEVICE=p630 to "offload"
-  RunnerOptions<double> Options;
-  Options.Kind = RunnerKind::Dpcpp;
+  auto Backend = exec::createBackend("dpcpp");
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = &Queue;
+  exec::StepLoopOptions<double> Options;
   Options.LightVelocity = 1.0;
   RunStats Stats =
-      runSimulation(Particles, Field, Types, /*Dt=*/0.01, /*NumSteps=*/500,
-                    Options, &Queue);
+      exec::runStepLoop(*Backend, Ctx, Particles, Field, Types, /*Dt=*/0.01,
+                        /*NumSteps=*/500, Options);
 
   // 5. Inspect the results through proxies.
   double MeanGamma = 0;

@@ -48,8 +48,8 @@ EscapeCurve runEscape(double PowerErg, Index N, int Periods) {
   auto Wave = DipoleWaveSource<double>::fromPower(
       PowerErg, dipole_benchmark::WaveFrequency, constants::LightVelocity);
 
-  RunnerOptions<double> Opts;
-  Opts.Kind = RunnerKind::OpenMpStyle;
+  auto Backend = exec::createBackend("openmp");
+  exec::StepLoopOptions<double> Opts;
 
   EscapeCurve Curve;
   for (int P = 0; P <= Periods; ++P) {
@@ -63,7 +63,8 @@ EscapeCurve runEscape(double PowerErg, Index N, int Periods) {
     if (P == Periods)
       break;
     Opts.StartTime = double(P) * Period;
-    runSimulation<Pusher>(Particles, Wave, Types, Dt, StepsPerPeriod, Opts);
+    exec::runStepLoop<Pusher>(*Backend, /*Ctx=*/{}, Particles, Wave, Types,
+                              Dt, StepsPerPeriod, Opts);
   }
   return Curve;
 }

@@ -1,25 +1,26 @@
-//===-- core/PusherRunner.h - Execution strategies --------------*- C++ -*-===//
+//===-- core/PusherRunner.h - Execution-strategy facade --------*- C++ -*-===//
 //
 // Part of the hichi-boris-dpcpp-repro project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The time-integration driver with the paper's three parallelization
-/// strategies (Table 2 rows), plus a serial reference:
+/// The classic runSimulation entry point, now a thin facade over the
+/// pluggable execution-backend layer (src/exec/): RunnerKind maps onto a
+/// registry name, RunnerOptions onto a BackendConfig + StepLoopOptions,
+/// and the time loop itself lives in exec::runStepLoop. New code (and
+/// anything that wants string-keyed backend selection, custom grains or
+/// additional backends) should use the exec layer directly; this facade
+/// exists so the paper-shaped call sites keep reading like the paper.
 ///
-///   * OpenMpStyle — the reference implementation: statically scheduled
-///     parallel loop over particles (Section 4.1's
-///     `#pragma omp parallel for simd`);
-///   * Dpcpp      — the port: one miniSYCL kernel per time step, dynamic
-///     scheduling (Section 4.2);
+/// The strategies themselves are unchanged (paper Table 2 rows):
+///
+///   * OpenMpStyle — statically scheduled parallel loop over particles
+///     (Section 4.1's `#pragma omp parallel for simd`);
+///   * Dpcpp      — one miniSYCL kernel per (fused group of) time
+///     step(s), dynamic scheduling (Section 4.2);
 ///   * DpcppNuma  — the same with NUMA arenas
 ///     (DPCPP_CPU_PLACES=numa_domains, Section 4.3).
-///
-/// The driver is templated over the pusher scheme (Boris/Vay/
-/// Higuera-Cary), the ensemble layout (AoS/SoA via proxies) and the field
-/// source (analytical/precalculated/grid) — the full cross-product the
-/// evaluation sweeps.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,15 +29,17 @@
 
 #include "core/BorisPusher.h"
 #include "core/ParticleArray.h"
+#include "exec/BackendRegistry.h"
+#include "exec/StepLoop.h"
 #include "minisycl/minisycl.h"
 #include "support/Constants.h"
 #include "support/Logging.h"
 #include "support/Timer.h"
-#include "threading/ParallelFor.h"
 
 namespace hichi {
 
-/// Execution strategy for the particle loop.
+/// Execution strategy for the particle loop (legacy enum; each kind is a
+/// name in the exec::BackendRegistry).
 enum class RunnerKind {
   Serial,      ///< plain loop, single thread (tests, baselines)
   OpenMpStyle, ///< static scheduling on the thread pool (paper Sec. 4.1)
@@ -44,12 +47,31 @@ enum class RunnerKind {
   DpcppNuma,   ///< miniSYCL kernel, NUMA arenas (paper Sec. 4.3)
 };
 
+/// \returns the exec-registry name of \p Kind.
+inline const char *backendNameOf(RunnerKind Kind) {
+  switch (Kind) {
+  case RunnerKind::Serial:
+    return "serial";
+  case RunnerKind::OpenMpStyle:
+    return "openmp";
+  case RunnerKind::Dpcpp:
+    return "dpcpp";
+  case RunnerKind::DpcppNuma:
+    return "dpcpp-numa";
+  }
+  unreachable("bad RunnerKind");
+}
+
 /// Options shared by all strategies.
 template <typename Real> struct RunnerOptions {
   RunnerKind Kind = RunnerKind::OpenMpStyle;
 
   /// Worker threads; 0 means every core the pool has.
   int Threads = 0;
+
+  /// Time steps per kernel/parallel region (multi-step fusion; see
+  /// exec/StepLoop.h). 1 reproduces the paper's one-kernel-per-step shape.
+  int FuseSteps = 1;
 
   /// Speed of light of the active unit system (CGS by default; tests use
   /// 1).
@@ -63,13 +85,6 @@ template <typename Real> struct RunnerOptions {
   const gpusim::KernelProfile *GpuWorkload = nullptr;
 };
 
-/// Aggregate timing of one runSimulation call.
-struct RunStats {
-  double HostNs = 0;    ///< wall time spent in kernels on this host
-  double ModeledNs = 0; ///< gpusim-modeled time (== HostNs on CPU paths)
-  bool Modeled = false; ///< true if ModeledNs came from the device model
-};
-
 /// Advances every particle of \p Particles by \p NumSteps steps of \p Dt
 /// under \p Fields, using the strategy in \p Opts. \p Queue is required
 /// for the Dpcpp/DpcppNuma kinds (its device decides CPU vs simulated
@@ -80,79 +95,25 @@ RunStats runSimulation(Array &Particles, const FieldSource &Fields,
                        const ParticleTypeTable<Real> &Types, Real Dt,
                        int NumSteps, const RunnerOptions<Real> &Opts,
                        minisycl::queue *Queue = nullptr) {
-  const auto View = Particles.view();
-  const Index N = View.size();
-  const ParticleTypeInfo<Real> *TypesPtr = Types.data();
-  const Real C = Opts.LightVelocity;
-  RunStats Stats;
+  exec::BackendConfig Config;
+  Config.Threads = Opts.Threads;
+  std::unique_ptr<exec::ExecutionBackend> Backend =
+      exec::createBackend(backendNameOf(Opts.Kind), Config);
+  if (!Backend)
+    fatalError("runner kind missing from the backend registry");
+  if (Backend->needsQueue() && !Queue)
+    fatalError("Dpcpp runner kinds require a minisycl::queue");
 
-  // The per-particle body, shared verbatim by every strategy: sample the
-  // field at the particle, then push. Capture-by-copy views only.
-  auto PushOne = [=](Index I, Real Time) {
-    auto P = View[I];
-    const FieldSample<Real> F = Fields(P.position(), Time, I);
-    Pusher::template push<Real>(P, F, TypesPtr, Dt, C);
-  };
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = Queue;
+  Ctx.GpuWorkload = Opts.GpuWorkload;
 
-  switch (Opts.Kind) {
-  case RunnerKind::Serial: {
-    Stopwatch Watch;
-    for (int Step = 0; Step < NumSteps; ++Step) {
-      const Real Time = Opts.StartTime + Real(Step) * Dt;
-      for (Index I = 0; I < N; ++I)
-        PushOne(I, Time);
-    }
-    Stats.HostNs = Stats.ModeledNs = double(Watch.elapsedNanoseconds());
-    return Stats;
-  }
-
-  case RunnerKind::OpenMpStyle: {
-    threading::ThreadPool &Pool = threading::ThreadPool::global();
-    const int Width = Opts.Threads > 0 ? Opts.Threads : Pool.maxWidth();
-    Stopwatch Watch;
-    // "the loop over particles is parallelized and vectorized"
-    // (Section 4.1): one static region per time step.
-    for (int Step = 0; Step < NumSteps; ++Step) {
-      const Real Time = Opts.StartTime + Real(Step) * Dt;
-      threading::staticParallelFor(Pool, 0, N, Width,
-                                   [&](Index I) { PushOne(I, Time); });
-    }
-    Stats.HostNs = Stats.ModeledNs = double(Watch.elapsedNanoseconds());
-    return Stats;
-  }
-
-  case RunnerKind::Dpcpp:
-  case RunnerKind::DpcppNuma: {
-    if (!Queue)
-      fatalError("Dpcpp runner kinds require a minisycl::queue");
-    Queue->set_cpu_places(Opts.Kind == RunnerKind::DpcppNuma
-                              ? minisycl::cpu_places::numa_domains
-                              : minisycl::cpu_places::flat);
-    if (Opts.Threads > 0)
-      Queue->set_thread_count(Opts.Threads);
-
-    for (int Step = 0; Step < NumSteps; ++Step) {
-      const Real Time = Opts.StartTime + Real(Step) * Dt;
-      // The paper's kernel shape (Section 4.2): a lambda command group
-      // submitting a parallel_for over the ensemble.
-      auto Kernel = [&](minisycl::handler &H) {
-        if (Opts.GpuWorkload)
-          H.set_workload_hint(*Opts.GpuWorkload);
-        H.parallel_for(minisycl::range<1>(std::size_t(N)),
-                       [=](minisycl::id<1> Ind) {
-                         PushOne(Index(std::size_t(Ind)), Time);
-                       });
-      };
-      minisycl::event Event = Queue->submit(Kernel);
-      Event.wait_and_throw();
-      Stats.HostNs += double(Event.host_duration_ns());
-      Stats.ModeledNs += double(Event.duration_ns());
-      Stats.Modeled = Stats.Modeled || Event.is_modeled();
-    }
-    return Stats;
-  }
-  }
-  unreachable("bad RunnerKind");
+  exec::StepLoopOptions<Real> LoopOpts;
+  LoopOpts.LightVelocity = Opts.LightVelocity;
+  LoopOpts.StartTime = Opts.StartTime;
+  LoopOpts.FuseSteps = Opts.FuseSteps;
+  return exec::runStepLoop<Pusher>(*Backend, Ctx, Particles, Fields, Types,
+                                   Dt, NumSteps, LoopOpts);
 }
 
 } // namespace hichi

@@ -1,0 +1,88 @@
+//===-- exec/BackendRegistry.cpp - String-keyed backend factory -----------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/BackendRegistry.h"
+
+#include "exec/Backends.h"
+
+using namespace hichi::exec;
+
+BackendRegistry::BackendRegistry() {
+  registerBackend("serial", "plain loop, single thread (bitwise reference)",
+                  [](const BackendConfig &) {
+                    return std::make_unique<SerialBackend>();
+                  });
+  registerBackend("openmp",
+                  "static scheduling on the thread pool (paper Sec. 4.1)",
+                  [](const BackendConfig &C) {
+                    return std::make_unique<StaticPoolBackend>(C);
+                  });
+  registerBackend("dpcpp",
+                  "miniSYCL kernel, dynamic scheduling (paper Sec. 4.2)",
+                  [](const BackendConfig &C) {
+                    return std::make_unique<DpcppBackend>(C, /*NumaArenas=*/false);
+                  });
+  registerBackend("dpcpp-numa",
+                  "miniSYCL kernel, NUMA arenas (paper Sec. 4.3)",
+                  [](const BackendConfig &C) {
+                    return std::make_unique<DpcppBackend>(C, /*NumaArenas=*/true);
+                  });
+}
+
+BackendRegistry &BackendRegistry::instance() {
+  static BackendRegistry Registry;
+  return Registry;
+}
+
+bool BackendRegistry::registerBackend(std::string Name, std::string Description,
+                                      Factory MakeBackend) {
+  if (contains(Name) || !MakeBackend)
+    return false;
+  Entries.push_back({std::move(Name), std::move(Description),
+                     std::move(MakeBackend)});
+  return true;
+}
+
+std::unique_ptr<ExecutionBackend>
+BackendRegistry::create(const std::string &Name,
+                        const BackendConfig &Config) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return E.Make(Config);
+  return nullptr;
+}
+
+bool BackendRegistry::contains(const std::string &Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return true;
+  return false;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    Out.push_back(E.Name);
+  return Out;
+}
+
+std::string BackendRegistry::description(const std::string &Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return E.Description;
+  return "";
+}
+
+std::string hichi::exec::listBackendNames(const char *Separator) {
+  std::string Out;
+  for (const std::string &Name : BackendRegistry::instance().names()) {
+    if (!Out.empty())
+      Out += Separator;
+    Out += Name;
+  }
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===-- exec/BackendRegistry.h - String-keyed backend factory --*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The string-keyed registry of execution backends. The four built-ins
+/// ("serial", "openmp", "dpcpp", "dpcpp-numa") are always present, in
+/// that order; new strategies (a sharded backend, a task-graph backend,
+/// ...) register themselves with one registerBackend call and become
+/// available to every bench, example, the CLI's --runner flag and the PIC
+/// loop without touching any of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_EXEC_BACKENDREGISTRY_H
+#define HICHI_EXEC_BACKENDREGISTRY_H
+
+#include "exec/ExecutionBackend.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hichi {
+namespace exec {
+
+/// Process-wide registry mapping backend names to factories.
+class BackendRegistry {
+public:
+  using Factory =
+      std::function<std::unique_ptr<ExecutionBackend>(const BackendConfig &)>;
+
+  /// \returns the process-wide registry, with the built-ins registered.
+  static BackendRegistry &instance();
+
+  /// Registers \p MakeBackend under \p Name. \returns false (and leaves
+  /// the registry unchanged) if the name is already taken.
+  bool registerBackend(std::string Name, std::string Description,
+                       Factory MakeBackend);
+
+  /// \returns a fresh backend configured with \p Config, or nullptr if
+  /// \p Name is unknown.
+  std::unique_ptr<ExecutionBackend> create(const std::string &Name,
+                                           const BackendConfig &Config = {}) const;
+
+  bool contains(const std::string &Name) const;
+
+  /// Backend names in registration order (built-ins first).
+  std::vector<std::string> names() const;
+
+  /// One-line description of \p Name; empty if unknown.
+  std::string description(const std::string &Name) const;
+
+private:
+  BackendRegistry();
+
+  struct Entry {
+    std::string Name;
+    std::string Description;
+    Factory Make;
+  };
+  std::vector<Entry> Entries;
+};
+
+/// Convenience: BackendRegistry::instance().create(...).
+inline std::unique_ptr<ExecutionBackend>
+createBackend(const std::string &Name, const BackendConfig &Config = {}) {
+  return BackendRegistry::instance().create(Name, Config);
+}
+
+/// \returns a "name1|name2|..." listing of every registered backend, for
+/// error messages and CLI help strings.
+std::string listBackendNames(const char *Separator = "|");
+
+} // namespace exec
+} // namespace hichi
+
+#endif // HICHI_EXEC_BACKENDREGISTRY_H

@@ -1,0 +1,146 @@
+//===-- exec/ExecutionBackend.h - Pluggable execution backends -*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-backend abstraction: the paper's parallelization
+/// strategies (Section 4's OpenMP-style static loop, the DPC++ dynamic
+/// kernel, and the NUMA-arena variant) as first-class, registrable
+/// objects instead of a hard-coded switch.
+///
+/// A backend executes a type-erased *block kernel* over the cross product
+/// of a particle range and a fused group of time steps. The type erasure
+/// happens at block granularity — one indirect call per contiguous block
+/// of particles, never per particle — so the concrete inner loop is still
+/// compiled (and vectorized) at the instantiation site of the templated
+/// driver (StepLoop.h), exactly as the old monolithic runner was.
+///
+/// Layering: this header is dependency-light (no minisycl/threading
+/// includes) so that templated drivers anywhere in the tree can accept an
+/// ExecutionBackend&. The concrete backends live in Backends.h/.cpp and
+/// the string-keyed factory in BackendRegistry.h/.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_EXEC_EXECUTIONBACKEND_H
+#define HICHI_EXEC_EXECUTIONBACKEND_H
+
+#include "support/Config.h"
+
+namespace minisycl {
+class queue;
+} // namespace minisycl
+
+namespace hichi {
+
+namespace gpusim {
+struct KernelProfile;
+} // namespace gpusim
+
+/// Aggregate timing of a sequence of backend launches (one runSimulation /
+/// runStepLoop call).
+struct RunStats {
+  double HostNs = 0;    ///< wall time spent in kernels on this host
+  double ModeledNs = 0; ///< gpusim-modeled time (== HostNs on CPU paths)
+  bool Modeled = false; ///< true if ModeledNs came from the device model
+};
+
+namespace exec {
+
+/// Per-backend tuning knobs, fixed at construction time (a backend
+/// instance is an immutable strategy + configuration pair).
+struct BackendConfig {
+  /// Worker threads; 0 means every worker the pool / queue has.
+  int Threads = 0;
+
+  /// Dynamic-scheduling chunk size in particles; 0 picks the same
+  /// heuristic DPC++'s CPU device uses (threading::defaultGrain). Static
+  /// backends ignore it.
+  Index Grain = 0;
+};
+
+/// Per-launch resources a backend may need: the queue for the
+/// minisycl-backed kinds (its device decides CPU vs simulated GPU) and an
+/// optional gpusim workload profile so simulated-GPU events carry modeled
+/// times.
+struct ExecutionContext {
+  minisycl::queue *Queue = nullptr;
+  const gpusim::KernelProfile *GpuWorkload = nullptr;
+};
+
+/// \returns a stable identity for kernel type \p KernelFn without RTTI:
+/// the address of a function-template-static is unique per instantiation.
+/// Backends hand it to the minisycl JIT-cost model so each distinct
+/// step-loop kernel is charged its first-launch cost exactly once.
+template <typename KernelFn> const void *kernelIdentity() {
+  static const char Tag = 0;
+  return &Tag;
+}
+
+/// Non-owning type-erased reference to a block kernel
+///
+///   void operator()(Index Begin, Index End, int StepBegin, int StepEnd)
+///
+/// which advances particles [Begin, End) through time steps
+/// [StepBegin, StepEnd) in step-major order. The referee must outlive the
+/// launch (launches are synchronous, so stack lambdas are fine).
+class StepKernel {
+public:
+  template <typename Fn>
+  StepKernel(const Fn &Body, const void *TypeId)
+      : Ctx(&Body), TypeId(TypeId),
+        Invoke([](const void *C, Index Begin, Index End, int StepBegin,
+                  int StepEnd) {
+          (*static_cast<const Fn *>(C))(Begin, End, StepBegin, StepEnd);
+        }) {}
+
+  void operator()(Index Begin, Index End, int StepBegin, int StepEnd) const {
+    Invoke(Ctx, Begin, End, StepBegin, StepEnd);
+  }
+
+  /// Identity of the underlying kernel type (see kernelIdentity()).
+  const void *typeId() const { return TypeId; }
+
+private:
+  const void *Ctx;
+  const void *TypeId;
+  void (*Invoke)(const void *, Index, Index, int, int);
+};
+
+/// One backend launch: every particle in [0, Items) through the fused
+/// step group [StepBegin, StepEnd).
+struct LaunchSpec {
+  Index Items = 0;
+  int StepBegin = 0;
+  int StepEnd = 0;
+};
+
+/// An execution strategy for particle loops. Implementations must be
+/// result-deterministic: any partitioning of [0, Items) is legal because
+/// block kernels are order-independent across particles, but every
+/// particle must be visited exactly once per step and steps must be
+/// ascending per particle — that is what keeps all backends bit-identical
+/// (the paper Section 4 equivalence claim, enforced by
+/// tests/core/RunnerEquivalenceTest.cpp).
+class ExecutionBackend {
+public:
+  virtual ~ExecutionBackend() = default;
+
+  /// The registry key this backend was created under, e.g. "dpcpp-numa".
+  virtual const char *name() const = 0;
+
+  /// True if launch() requires ExecutionContext::Queue.
+  virtual bool needsQueue() const { return false; }
+
+  /// Executes \p Kernel over \p Spec, accumulating timing into \p Stats.
+  /// Synchronous: the work is complete on return.
+  virtual void launch(const LaunchSpec &Spec, const StepKernel &Kernel,
+                      const ExecutionContext &Ctx, RunStats &Stats) = 0;
+};
+
+} // namespace exec
+} // namespace hichi
+
+#endif // HICHI_EXEC_EXECUTIONBACKEND_H

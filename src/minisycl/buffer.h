@@ -26,6 +26,7 @@
 #include <cassert>
 #include <cstring>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace minisycl {
@@ -49,27 +50,32 @@ public:
   std::size_t size() const { return Extent.size(); }
   range<Dims> get_range() const { return Extent; }
 
-  T &operator[](std::size_t I) const
-    requires(Dims == 1 && !std::is_same_v<Mode, access_mode::read>)
-  {
+  // Read-only accessors return const refs, writable ones mutable refs;
+  // the split is done with C++17 SFINAE on Mode (the project standard;
+  // `requires` would need C++20).
+  template <typename M = Mode, int D = Dims,
+            std::enable_if_t<D == 1 && !std::is_same_v<M, access_mode::read>,
+                             int> = 0>
+  T &operator[](std::size_t I) const {
     assert(I < Extent.size() && "accessor index out of range");
     return Data[I];
   }
-  const T &operator[](std::size_t I) const
-    requires(Dims == 1 && std::is_same_v<Mode, access_mode::read>)
-  {
+  template <typename M = Mode, int D = Dims,
+            std::enable_if_t<D == 1 && std::is_same_v<M, access_mode::read>,
+                             int> = 0>
+  const T &operator[](std::size_t I) const {
     assert(I < Extent.size() && "accessor index out of range");
     return Data[I];
   }
 
-  T &operator[](id<Dims> I) const
-    requires(!std::is_same_v<Mode, access_mode::read>)
-  {
+  template <typename M = Mode,
+            std::enable_if_t<!std::is_same_v<M, access_mode::read>, int> = 0>
+  T &operator[](id<Dims> I) const {
     return Data[I.linearize(Extent)];
   }
-  const T &operator[](id<Dims> I) const
-    requires(std::is_same_v<Mode, access_mode::read>)
-  {
+  template <typename M = Mode,
+            std::enable_if_t<std::is_same_v<M, access_mode::read>, int> = 0>
+  const T &operator[](id<Dims> I) const {
     return Data[I.linearize(Extent)];
   }
 

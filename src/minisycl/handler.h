@@ -199,6 +199,17 @@ public:
     HasHint = true;
   }
 
+  /// Overrides the kernel identity used by the JIT-cost model. Needed by
+  /// launchers that funnel many logical kernels through one C++ closure
+  /// type (the exec backends' type-erased chunk kernel): without the
+  /// override they would all share one first-launch charge. (A simulation
+  /// seam, like set_workload_hint — DPC++ has no equivalent.)
+  void set_kernel_identity(const void *Id) { KernelIdentity = Id; }
+
+  /// Overrides the work-item count reported to the gpusim device model,
+  /// for launches whose index space is chunks rather than logical items.
+  void set_modeled_work_items(hichi::Index Items) { ModeledWorkItems = Items; }
+
 private:
   /// Stable identity per kernel *type* without RTTI: the address of a
   /// function-template-static is unique per instantiation. Used to model
@@ -234,7 +245,9 @@ private:
 
   std::function<void(const launch_config &)> Launcher;
   hichi::Index WorkItems = 0;
+  hichi::Index ModeledWorkItems = 0; // 0 = use WorkItems
   const void *KernelTypeId = nullptr;
+  const void *KernelIdentity = nullptr; // overrides KernelTypeId when set
   hichi::gpusim::KernelProfile Hint{};
   bool HasHint = false;
 

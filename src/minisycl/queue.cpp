@@ -52,9 +52,14 @@ event queue::execute(handler &Handler) {
   Handler.Launcher(Config);
   std::int64_t HostNs = Watch.elapsedNanoseconds();
 
+  const void *KernelId =
+      Handler.KernelIdentity ? Handler.KernelIdentity : Handler.KernelTypeId;
   bool FirstLaunch = false;
-  if (Handler.KernelTypeId)
-    FirstLaunch = JittedKernels.insert(Handler.KernelTypeId).second;
+  if (KernelId)
+    FirstLaunch = JittedKernels.insert(KernelId).second;
+  const hichi::Index ModeledItems = Handler.ModeledWorkItems > 0
+                                        ? Handler.ModeledWorkItems
+                                        : Handler.WorkItems;
 
   Event.State->HostNs = HostNs;
   if (const hichi::gpusim::GpuParameters *Gpu = Dev.gpu_model()) {
@@ -64,7 +69,7 @@ event queue::execute(handler &Handler) {
     if (Handler.HasHint) {
       Event.State->DurationNs =
           std::int64_t(hichi::gpusim::modelKernelTimeNs(
-              *Gpu, Handler.Hint, Handler.WorkItems, FirstLaunch));
+              *Gpu, Handler.Hint, ModeledItems, FirstLaunch));
       Event.State->Modeled = true;
       Event.State->IncludedJit = FirstLaunch;
     } else {

@@ -20,6 +20,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <type_traits>
 
 namespace minisycl {
 
@@ -30,20 +31,19 @@ template <int Dims = 1> class range {
 public:
   range() = default;
 
-  explicit range(std::size_t D0)
-    requires(Dims == 1)
-  {
+  // The arity-matching constructors are enabled per Dims with C++17
+  // SFINAE (the project standard; `requires` would need C++20).
+  template <int D = Dims, std::enable_if_t<D == 1, int> = 0>
+  explicit range(std::size_t D0) {
     Sizes[0] = D0;
   }
-  range(std::size_t D0, std::size_t D1)
-    requires(Dims == 2)
-  {
+  template <int D = Dims, std::enable_if_t<D == 2, int> = 0>
+  range(std::size_t D0, std::size_t D1) {
     Sizes[0] = D0;
     Sizes[1] = D1;
   }
-  range(std::size_t D0, std::size_t D1, std::size_t D2)
-    requires(Dims == 3)
-  {
+  template <int D = Dims, std::enable_if_t<D == 3, int> = 0>
+  range(std::size_t D0, std::size_t D1, std::size_t D2) {
     Sizes[0] = D0;
     Sizes[1] = D1;
     Sizes[2] = D2;
@@ -81,20 +81,17 @@ template <int Dims = 1> class id {
 public:
   id() = default;
 
-  id(std::size_t D0)
-    requires(Dims == 1)
-  {
+  template <int D = Dims, std::enable_if_t<D == 1, int> = 0>
+  id(std::size_t D0) {
     Values[0] = D0;
   }
-  id(std::size_t D0, std::size_t D1)
-    requires(Dims == 2)
-  {
+  template <int D = Dims, std::enable_if_t<D == 2, int> = 0>
+  id(std::size_t D0, std::size_t D1) {
     Values[0] = D0;
     Values[1] = D1;
   }
-  id(std::size_t D0, std::size_t D1, std::size_t D2)
-    requires(Dims == 3)
-  {
+  template <int D = Dims, std::enable_if_t<D == 3, int> = 0>
+  id(std::size_t D0, std::size_t D1, std::size_t D2) {
     Values[0] = D0;
     Values[1] = D1;
     Values[2] = D2;
@@ -107,10 +104,12 @@ public:
   std::size_t operator[](int Dim) const { return get(Dim); }
 
   /// SYCL allows a 1-D id to convert to its scalar index, which is what
-  /// lets kernels write `particles[ind]` with `sycl::id<1> ind`.
-  operator std::size_t() const
-    requires(Dims == 1)
-  {
+  /// lets kernels write `particles[ind]` with `sycl::id<1> ind`. (A
+  /// member-template conversion would not participate in the built-in
+  /// subscript's implicit conversion sequence, so this stays a plain
+  /// member; the static_assert fires only if a multi-D id is converted.)
+  operator std::size_t() const {
+    static_assert(Dims == 1, "only 1-D ids convert to a scalar index");
     return Values[0];
   }
 

@@ -22,6 +22,7 @@
 #define HICHI_PIC_PICSIMULATION_H
 
 #include "core/Core.h"
+#include "exec/BackendRegistry.h"
 #include "pic/CurrentDeposition.h"
 #include "pic/FdtdSolver.h"
 #include "pic/FieldInterpolator.h"
@@ -30,6 +31,8 @@
 #include "pic/YeeGrid.h"
 
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace hichi {
 namespace pic {
@@ -48,6 +51,15 @@ template <typename Real> struct PicOptions {
   int SortEveryNSteps = 50;      ///< 0 disables the locality sort
   bool ChargeConserving = true;  ///< Esirkepov vs direct deposition
   FieldSolverKind Solver = FieldSolverKind::Fdtd;
+
+  /// Execution backend (exec registry name) for the interpolate+push
+  /// stage. Any registered backend gives bit-identical results: particles
+  /// are independent during the push, and the (coupling) current
+  /// deposition stays serial in particle order.
+  std::string PushBackend = "serial";
+
+  /// Worker threads for the push stage; 0 means all.
+  int PushThreads = 0;
 };
 
 /// A complete electromagnetic PIC simulation over one periodic box.
@@ -60,6 +72,12 @@ public:
       : Grid(Size, Origin, Step), Particles(ParticleCapacity),
         Types(std::move(Types)), Solver(Options.LightVelocity),
         Indexer(Grid), Options(Options) {
+    Backend = exec::createBackend(this->Options.PushBackend,
+                                  {this->Options.PushThreads, /*Grain=*/0});
+    if (!Backend)
+      fatalError("PicOptions::PushBackend names no registered backend");
+    if (Backend->needsQueue())
+      PushQueue = std::make_unique<minisycl::queue>(minisycl::cpu_device());
     if (this->Options.TimeStep <= Real(0))
       this->Options.TimeStep = Solver.courantLimit(Grid) / Real(2);
     if (this->Options.Solver == FieldSolverKind::Spectral)
@@ -98,21 +116,42 @@ public:
 
     Grid.clearCurrent();
 
-    // Push + deposit fused per particle: the deposition needs the old and
-    // new positions of the same move.
+    // Stage 1 — interpolate + push, routed through the execution backend
+    // (particles are independent here, so any backend is bit-identical).
+    // Old positions are kept aside because the deposition needs both ends
+    // of the same move.
+    OldPositions.resize(std::size_t(N));
+    Vector3<Real> *OldPos = OldPositions.data();
+    const Real Time = CurrentTime;
+    auto Block = [=](Index Begin, Index End, int, int) {
+      for (Index I = Begin; I < End; ++I) {
+        auto P = View[I];
+        const Vector3<Real> Pos = P.position();
+        OldPos[I] = Pos;
+        const FieldSample<Real> F = Interp(Pos, Time, I);
+        BorisPusher::push<Real>(P, F, TypesPtr, Dt, C);
+      }
+    };
+    const exec::StepKernel Kernel(Block,
+                                  exec::kernelIdentity<decltype(Block)>());
+    exec::ExecutionContext Ctx;
+    Ctx.Queue = PushQueue.get();
+    // One step per launch: the deposition below couples particles, so
+    // multi-step fusion is not legal for the PIC loop.
+    Backend->launch({N, Steps, Steps + 1}, Kernel, Ctx, PushTiming);
+
+    // Stage 2 — current deposition, serial in particle order (the grid
+    // scatter is a cross-particle reduction; parallelizing it is a
+    // ROADMAP item), then the periodic wrap.
     for (Index I = 0; I < N; ++I) {
       auto P = View[I];
-      const Vector3<Real> OldPos = P.position();
-      const FieldSample<Real> F = Interp(OldPos, CurrentTime, I);
-      BorisPusher::push<Real>(P, F, TypesPtr, Dt, C);
-
       const Vector3<Real> NewPos = P.position(); // unwrapped
       const Real MacroCharge = TypesPtr[P.type()].Charge * P.weight();
       if (Options.ChargeConserving) {
-        depositCurrentEsirkepov(Grid, OldPos, NewPos, MacroCharge, Dt);
+        depositCurrentEsirkepov(Grid, OldPos[I], NewPos, MacroCharge, Dt);
       } else {
-        const Vector3<Real> V = (NewPos - OldPos) / Dt;
-        depositCurrentDirect(Grid, (OldPos + NewPos) * Real(0.5), V,
+        const Vector3<Real> V = (NewPos - OldPos[I]) / Dt;
+        depositCurrentDirect(Grid, (OldPos[I] + NewPos) * Real(0.5), V,
                              MacroCharge);
       }
       P.setPosition(Grid.wrapPosition(NewPos));
@@ -165,6 +204,12 @@ public:
   /// Field energy [erg] (delegates to the grid).
   double fieldEnergy() const { return Grid.fieldEnergy(); }
 
+  /// The execution backend running the push stage.
+  const exec::ExecutionBackend &pushBackend() const { return *Backend; }
+
+  /// Accumulated timing of the push stage across all steps so far.
+  const RunStats &pushStats() const { return PushTiming; }
+
 private:
   YeeGrid<Real> Grid;
   Array Particles;
@@ -173,6 +218,10 @@ private:
   std::unique_ptr<SpectralSolver<Real>> Spectral;
   CellIndexer<Real> Indexer;
   PicOptions<Real> Options;
+  std::unique_ptr<exec::ExecutionBackend> Backend;
+  std::unique_ptr<minisycl::queue> PushQueue;
+  std::vector<Vector3<Real>> OldPositions;
+  RunStats PushTiming;
   Real CurrentTime = Real(0);
   int Steps = 0;
 };

@@ -34,7 +34,14 @@ public:
   void addOption(const std::string &Name, const std::string &Help,
                  const std::string &Default = "") {
     Order.push_back(Name);
-    Options[Name] = OptionInfo{Help, Default, "", false};
+    Options[Name] = OptionInfo{Help, Default, "", false, false};
+  }
+
+  /// Declares a boolean flag: `--name` with no value (also accepts
+  /// `--name=true/false`).
+  void addFlag(const std::string &Name, const std::string &Help) {
+    Order.push_back(Name);
+    Options[Name] = OptionInfo{Help, "false", "", false, true};
   }
 
   /// Parses argv. \returns false (and records an error message) on an
@@ -48,23 +55,30 @@ public:
       }
       std::string Name = Arg.substr(2);
       std::string Value;
+      bool HasValue = false;
       if (auto Eq = Name.find('='); Eq != std::string::npos) {
         Value = Name.substr(Eq + 1);
         Name = Name.substr(0, Eq);
+        HasValue = true;
       } else if (Name == "help") {
         HelpRequested = true;
         continue;
-      } else {
-        if (I + 1 >= Argc) {
-          Error = "option --" + Name + " expects a value";
-          return false;
-        }
-        Value = Argv[++I];
       }
       auto It = Options.find(Name);
       if (It == Options.end()) {
         Error = "unknown option --" + Name;
         return false;
+      }
+      if (!HasValue) {
+        if (It->second.IsFlag) {
+          Value = "true";
+        } else {
+          if (I + 1 >= Argc) {
+            Error = "option --" + Name + " expects a value";
+            return false;
+          }
+          Value = Argv[++I];
+        }
       }
       It->second.Value = Value;
       It->second.Seen = true;
@@ -101,6 +115,11 @@ public:
     return Parsed;
   }
 
+  /// \returns true iff flag \p Name was supplied (or set to "true").
+  bool getFlag(const std::string &Name) const {
+    return getString(Name) == "true";
+  }
+
   /// \returns the option as a double, or std::nullopt if not parseable.
   std::optional<double> getDouble(const std::string &Name) const {
     std::string V = getString(Name);
@@ -132,6 +151,7 @@ private:
     std::string Default;
     std::string Value;
     bool Seen = false;
+    bool IsFlag = false;
   };
 
   std::string Description;

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Core.h"
+#include "exec/BackendRegistry.h"
 #include "fields/DipoleWave.h"
 #include "fields/PrecalculatedFields.h"
 
@@ -82,6 +83,97 @@ TEST(RunnerEquivalenceTest, SoAMatchesAoSUnderEveryStrategy) {
   for (RunnerKind Kind : {RunnerKind::Serial, RunnerKind::OpenMpStyle,
                           RunnerKind::Dpcpp, RunnerKind::DpcppNuma})
     expectBitwiseEqual(Reference, runWith<ParticleArraySoA<double>>(Kind));
+}
+
+/// Like runWith, but resolves the backend from the exec registry and runs
+/// through the exec layer directly with the given fusion factor.
+template <typename Array>
+std::vector<ParticleT<double>> runWithBackend(const std::string &Backend,
+                                              int FuseSteps) {
+  Array Particles(N);
+  initializeBallAtRest(Particles, N, Vector3<double>::zero(), 1.0,
+                       PS_Electron, /*Seed=*/4242);
+  auto Types = ParticleTypeTable<double>::natural();
+  auto Wave = DipoleWaveSource<double>::fromPower(1.0, 1.0, 1.0);
+
+  auto BackendPtr = exec::createBackend(Backend);
+  EXPECT_NE(BackendPtr, nullptr) << Backend;
+  minisycl::queue Q{minisycl::cpu_device()};
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = &Q;
+  exec::StepLoopOptions<double> Opts;
+  Opts.LightVelocity = 1.0;
+  Opts.FuseSteps = FuseSteps;
+  exec::runStepLoop(*BackendPtr, Ctx, Particles, Wave, Types, /*Dt=*/0.05,
+                    Steps, Opts);
+
+  std::vector<ParticleT<double>> Out;
+  for (Index I = 0; I < N; ++I)
+    Out.push_back(Particles[I].load());
+  return Out;
+}
+
+/// The exhaustive cross-product the exec refactor must preserve: every
+/// registered backend x {AoS, SoA} x {unfused, fused, ragged-fused} is
+/// bit-identical to the serial unfused reference. New backends join this
+/// matrix just by registering.
+TEST(RunnerEquivalenceTest, AllRegisteredBackendsBitIdenticalAcrossFusion) {
+  auto Reference = runWithBackend<ParticleArrayAoS<double>>("serial", 1);
+  for (const std::string &Backend :
+       exec::BackendRegistry::instance().names()) {
+    for (int Fuse : {1, 4, 7}) { // 7 does not divide Steps: ragged tail
+      expectBitwiseEqual(
+          Reference, runWithBackend<ParticleArrayAoS<double>>(Backend, Fuse));
+      expectBitwiseEqual(
+          Reference, runWithBackend<ParticleArraySoA<double>>(Backend, Fuse));
+    }
+  }
+}
+
+/// The facade exposes fusion too; a fused facade run equals the unfused
+/// classic call.
+TEST(RunnerEquivalenceTest, FacadeFusionMatchesUnfused) {
+  auto Unfused = runWith<ParticleArrayAoS<double>>(RunnerKind::Dpcpp);
+
+  ParticleArrayAoS<double> Particles(N);
+  initializeBallAtRest(Particles, N, Vector3<double>::zero(), 1.0,
+                       PS_Electron, /*Seed=*/4242);
+  auto Types = ParticleTypeTable<double>::natural();
+  auto Wave = DipoleWaveSource<double>::fromPower(1.0, 1.0, 1.0);
+  RunnerOptions<double> Opts;
+  Opts.Kind = RunnerKind::Dpcpp;
+  Opts.LightVelocity = 1.0;
+  Opts.FuseSteps = 5;
+  minisycl::queue Q{minisycl::cpu_device()};
+  runSimulation(Particles, Wave, Types, 0.05, Steps, Opts, &Q);
+
+  std::vector<ParticleT<double>> Fused;
+  for (Index I = 0; I < N; ++I)
+    Fused.push_back(Particles[I].load());
+  expectBitwiseEqual(Unfused, Fused);
+}
+
+/// Sharing one queue between configurations must not leak scheduling
+/// state: a dpcpp-numa run used to leave numa_domains (and a clamped
+/// thread count) on the queue, silently reconfiguring the next dpcpp run.
+TEST(RunnerEquivalenceTest, QueueConfigurationDoesNotLeakBetweenRuns) {
+  minisycl::queue Q{minisycl::cpu_device()};
+  const minisycl::cpu_places PlacesBefore = Q.get_cpu_places();
+  const int WidthBefore = Q.thread_count();
+
+  ParticleArrayAoS<double> Particles(64);
+  initializeBallAtRest(Particles, 64, Vector3<double>::zero(), 1.0,
+                       PS_Electron, 7);
+  auto Types = ParticleTypeTable<double>::natural();
+  UniformFieldSource<double> F{{{0.1, 0, 0}, {0, 0, 1.0}}};
+  RunnerOptions<double> Opts;
+  Opts.Kind = RunnerKind::DpcppNuma;
+  Opts.Threads = 1;
+  Opts.LightVelocity = 1.0;
+  runSimulation(Particles, F, Types, 0.01, 3, Opts, &Q);
+
+  EXPECT_EQ(Q.get_cpu_places(), PlacesBefore);
+  EXPECT_EQ(Q.thread_count(), WidthBefore);
 }
 
 TEST(RunnerEquivalenceTest, SimulatedGpuMatchesCpu) {

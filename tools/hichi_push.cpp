@@ -6,14 +6,22 @@
 ///
 /// \file
 /// Command-line driver for the paper's benchmark: pick scenario, layout,
-/// parallelization, precision, pusher, device and sizes; get NSPS. This
+/// execution backend, precision, pusher, device and sizes; get NSPS. This
 /// is the "run one cell of Table 2/3 yourself" tool:
 ///
 /// \code
 ///   hichi_push --scenario analytical --layout soa --runner dpcpp-numa
 ///       --precision float --particles 1000000 --steps 100
 ///   hichi_push --device xemax --layout aos     # Table 3 flavour
+///   hichi_push --list-runners                  # what can --runner be?
+///   hichi_push --runner dpcpp --fuse 8 --json results/push.json
 /// \endcode
+///
+/// Backends are resolved by name from the exec registry, so newly
+/// registered strategies appear in --runner / --list-runners without
+/// touching this file. The printed state hash is identical across
+/// backends and fuse factors for a given configuration (the Section 4
+/// equivalence claim) — compare two runs with `--runner` swapped.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,8 +31,12 @@
 #include "fields/PrecalculatedFields.h"
 #include "perfmodel/WorkloadModel.h"
 #include "support/ArgParse.h"
+#include "support/BenchReport.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 using namespace hichi;
@@ -35,13 +47,39 @@ struct Config {
   bool Analytical = false;
   bool SoA = false;
   bool SinglePrecision = true;
-  RunnerKind Kind = RunnerKind::Dpcpp;
+  std::string Runner = "dpcpp";
   std::string Device = "cpu";
   std::string Pusher = "boris";
+  std::string JsonPath;
   Index Particles = 1'000'000;
   int Steps = 50;
   int Iterations = 3;
+  int FuseSteps = 1;
+  int Threads = 0;
+  Index Grain = 0;
 };
+
+/// FNV-1a over the final particle states (positions, momenta, gamma), so
+/// two runs can be compared for bitwise equality from the console.
+template <typename Array> std::uint64_t stateHash(Array &Particles) {
+  using Real = typename Array::Scalar;
+  std::uint64_t Hash = 1469598103934665603ULL;
+  auto Mix = [&Hash](Real V) {
+    unsigned char Bytes[sizeof(Real)];
+    std::memcpy(Bytes, &V, sizeof(Real));
+    for (unsigned char B : Bytes) {
+      Hash ^= B;
+      Hash *= 1099511628211ULL;
+    }
+  };
+  for (Index I = 0, E = Particles.view().size(); I < E; ++I) {
+    auto P = Particles[I].load();
+    for (Real V : {P.Position.X, P.Position.Y, P.Position.Z, P.Momentum.X,
+                   P.Momentum.Y, P.Momentum.Z, P.Gamma})
+      Mix(V);
+  }
+  return Hash;
+}
 
 template <typename Real, typename Array, typename Pusher>
 int runBenchmark(const Config &Cfg) {
@@ -62,43 +100,82 @@ int runBenchmark(const Config &Cfg) {
                              : minisycl::cpu_device();
   minisycl::queue Queue{Dev};
 
-  RunnerOptions<Real> Opts;
-  Opts.Kind = Cfg.Kind;
+  exec::BackendConfig BackendCfg;
+  BackendCfg.Threads = Cfg.Threads;
+  BackendCfg.Grain = Cfg.Grain;
+  auto Backend = exec::createBackend(Cfg.Runner, BackendCfg);
+  if (!Backend) {
+    std::fprintf(stderr, "error: unknown runner '%s' (known: %s)\n",
+                 Cfg.Runner.c_str(), exec::listBackendNames(", ").c_str());
+    return 1;
+  }
   auto Profile = perfmodel::gpuKernelProfile(
       Cfg.Analytical ? perfmodel::Scenario::AnalyticalFields
                      : perfmodel::Scenario::PrecalculatedFields,
       Cfg.SoA ? perfmodel::Layout::SoA : perfmodel::Layout::AoS,
       Cfg.SinglePrecision ? perfmodel::Precision::Single
                           : perfmodel::Precision::Double);
+  exec::ExecutionContext Ctx;
+  Ctx.Queue = &Queue;
   if (Dev.is_gpu())
-    Opts.GpuWorkload = &Profile;
+    Ctx.GpuWorkload = &Profile;
 
   PrecalculatedFields<Real> Stored(Cfg.Particles);
   if (!Cfg.Analytical)
     Stored.precompute(Particles, Wave, Real(0));
 
+  exec::StepLoopOptions<Real> Opts;
+  Opts.FuseSteps = Cfg.FuseSteps;
   auto RunOnce = [&]() -> RunStats {
     if (Cfg.Analytical)
-      return runSimulation<Pusher>(Particles, Wave, Types, Dt, Cfg.Steps,
-                                   Opts, &Queue);
-    return runSimulation<Pusher>(Particles, Stored.source(), Types, Dt,
-                                 Cfg.Steps, Opts, &Queue);
+      return exec::runStepLoop<Pusher>(*Backend, Ctx, Particles, Wave, Types,
+                                       Dt, Cfg.Steps, Opts);
+    return exec::runStepLoop<Pusher>(*Backend, Ctx, Particles,
+                                     Stored.source(), Types, Dt, Cfg.Steps,
+                                     Opts);
   };
 
   RunOnce(); // warmup (JIT + first touch)
+  bench::MeasuredSeries Series;
   double TotalNs = 0;
   for (int It = 0; It < Cfg.Iterations; ++It) {
     RunStats Stats = RunOnce();
     double IterNs = Dev.is_gpu() ? Stats.ModeledNs : Stats.HostNs;
+    Series.IterationNs.push_back(IterNs);
     TotalNs += IterNs;
     std::printf("iteration %d: %.2f ms\n", It, IterNs / 1e6);
   }
-  double Nsps = nsPerParticlePerStep(TotalNs, Cfg.Iterations,
+  Series.Nsps = nsPerParticlePerStep(TotalNs, Cfg.Iterations,
                                      double(Cfg.Particles),
                                      double(Cfg.Steps));
-  std::printf("\nNSPS = %.3f ns/particle/step on '%s'%s\n", Nsps,
+  std::printf("\nNSPS = %.3f ns/particle/step on '%s'%s\n", Series.Nsps,
               Dev.name().c_str(),
               Dev.is_gpu() ? " (device-modeled)" : " (measured)");
+  std::printf("final state hash = %016llx (backend-independent)\n",
+              (unsigned long long)stateHash(Particles));
+
+  if (!Cfg.JsonPath.empty()) {
+    bench::JsonReport Report("hichi_push");
+    bench::BenchRecord R;
+    R.Backend = Cfg.Runner;
+    R.Scenario = Cfg.Analytical ? "analytical" : "precalculated";
+    R.Layout = Cfg.SoA ? "soa" : "aos";
+    R.Precision = Cfg.SinglePrecision ? "float" : "double";
+    R.Particles = (long long)Cfg.Particles;
+    R.Steps = Cfg.Steps;
+    R.Iterations = Cfg.Iterations;
+    R.FuseSteps = Cfg.FuseSteps;
+    R.Threads = Cfg.Threads;
+    R.setSeries(Series);
+    Report.add(R);
+    if (Report.writeFile(Cfg.JsonPath))
+      std::printf("wrote JSON record to %s\n", Cfg.JsonPath.c_str());
+    else {
+      std::fprintf(stderr, "error: could not write %s\n",
+                   Cfg.JsonPath.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -125,13 +202,19 @@ int main(int Argc, char **Argv) {
                  "pusher benchmark and report NSPS");
   Args.addOption("scenario", "precalculated | analytical", "precalculated");
   Args.addOption("layout", "aos | soa", "aos");
-  Args.addOption("runner", "serial | openmp | dpcpp | dpcpp-numa", "dpcpp");
+  Args.addOption("runner",
+                 "execution backend (see --list-runners)", "dpcpp");
   Args.addOption("precision", "float | double", "float");
   Args.addOption("pusher", "boris | vay | higuera-cary | boris-rr", "boris");
   Args.addOption("device", "cpu | p630 | xemax", "cpu");
   Args.addOption("particles", "ensemble size", "1000000");
   Args.addOption("steps", "steps per iteration", "50");
   Args.addOption("iterations", "measured iterations", "3");
+  Args.addOption("fuse", "time steps per kernel (multi-step fusion)", "1");
+  Args.addOption("threads", "worker threads (0 = all)", "0");
+  Args.addOption("grain", "dynamic chunk size (0 = auto)", "0");
+  Args.addOption("json", "write a machine-readable record to this path", "");
+  Args.addFlag("list-runners", "list registered execution backends and exit");
 
   if (!Args.parse(Argc, Argv)) {
     std::fprintf(stderr, "error: %s\n", Args.error().c_str());
@@ -141,6 +224,14 @@ int main(int Argc, char **Argv) {
     Args.printHelp(Argv[0]);
     return 0;
   }
+  if (Args.getFlag("list-runners")) {
+    auto &Registry = exec::BackendRegistry::instance();
+    std::printf("registered execution backends:\n");
+    for (const std::string &Name : Registry.names())
+      std::printf("  %-12s %s\n", Name.c_str(),
+                  Registry.description(Name).c_str());
+    return 0;
+  }
 
   Config Cfg;
   Cfg.Analytical = Args.getString("scenario") == "analytical";
@@ -148,21 +239,22 @@ int main(int Argc, char **Argv) {
   Cfg.SinglePrecision = Args.getString("precision") != "double";
   Cfg.Pusher = Args.getString("pusher");
   Cfg.Device = Args.getString("device");
-  std::string Runner = Args.getString("runner");
-  Cfg.Kind = Runner == "serial"       ? RunnerKind::Serial
-             : Runner == "openmp"     ? RunnerKind::OpenMpStyle
-             : Runner == "dpcpp-numa" ? RunnerKind::DpcppNuma
-                                      : RunnerKind::Dpcpp;
+  Cfg.Runner = Args.getString("runner");
+  Cfg.JsonPath = Args.getString("json");
   Cfg.Particles = Index(Args.getInt("particles").value_or(1'000'000));
-  Cfg.Steps = int(Args.getInt("steps").value_or(50));
-  Cfg.Iterations = int(Args.getInt("iterations").value_or(3));
+  Cfg.Steps = std::max(1, int(Args.getInt("steps").value_or(50)));
+  Cfg.Iterations = std::max(1, int(Args.getInt("iterations").value_or(3)));
+  Cfg.FuseSteps = int(Args.getInt("fuse").value_or(1));
+  Cfg.Threads = int(Args.getInt("threads").value_or(0));
+  Cfg.Grain = Index(Args.getInt("grain").value_or(0));
 
   std::printf("scenario=%s layout=%s runner=%s precision=%s pusher=%s "
-              "device=%s N=%lld steps=%d\n\n",
+              "device=%s N=%lld steps=%d fuse=%d\n\n",
               Args.getString("scenario").c_str(),
-              Args.getString("layout").c_str(), Runner.c_str(),
+              Args.getString("layout").c_str(), Cfg.Runner.c_str(),
               Args.getString("precision").c_str(), Cfg.Pusher.c_str(),
-              Cfg.Device.c_str(), (long long)Cfg.Particles, Cfg.Steps);
+              Cfg.Device.c_str(), (long long)Cfg.Particles, Cfg.Steps,
+              Cfg.FuseSteps);
 
   if (Cfg.SinglePrecision)
     return dispatchLayout<float>(Cfg);
