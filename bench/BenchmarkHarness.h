@@ -26,6 +26,15 @@
 ///   30), HICHI_BENCH_ITERATIONS (default 3). Benches that support it
 ///   write their records to the file named by HICHI_BENCH_JSON.
 ///
+/// Backend resolution from the environment is uniform across benches
+/// (the ROADMAP gap that benches honored HICHI_BENCH_BACKEND only
+/// partially): single-backend benches take their push backend from
+/// HICHI_BENCH_BACKEND (envPushBackendName), PIC-stage benches take the
+/// deposit backend from HICHI_BENCH_DEPOSIT_BACKEND falling back to the
+/// push variable (envDepositBackendName), and sweep benches restrict
+/// their backend sweep to HICHI_BENCH_BACKEND when it is set
+/// (envBackendSelected).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HICHI_BENCH_BENCHMARKHARNESS_H
@@ -87,6 +96,28 @@ template <typename Array> void initPaperEnsemble(Array &Particles, Index N) {
 template <typename Real> Real paperTimeStep() {
   return Real(dipole_benchmark::TimeStepFraction * 2.0 * constants::Pi /
               dipole_benchmark::WaveFrequency);
+}
+
+/// The push-stage backend named by HICHI_BENCH_BACKEND, or \p Fallback.
+inline std::string envPushBackendName(const char *Fallback = "serial") {
+  return getEnvString("HICHI_BENCH_BACKEND").value_or(Fallback);
+}
+
+/// The deposit-stage backend named by HICHI_BENCH_DEPOSIT_BACKEND,
+/// falling back to HICHI_BENCH_BACKEND, then \p Fallback — so setting
+/// the one push variable configures both PIC stages unless the deposit
+/// stage is overridden explicitly.
+inline std::string envDepositBackendName(const char *Fallback = "serial") {
+  if (auto V = getEnvString("HICHI_BENCH_DEPOSIT_BACKEND"))
+    return *V;
+  return envPushBackendName(Fallback);
+}
+
+/// True if a sweep bench should include \p Backend: HICHI_BENCH_BACKEND
+/// unset (full sweep) or naming exactly \p Backend (restricted run).
+inline bool envBackendSelected(const std::string &Backend) {
+  auto V = getEnvString("HICHI_BENCH_BACKEND");
+  return !V || *V == Backend;
 }
 
 /// \returns the backend named \p Name from the registry, or dies with a

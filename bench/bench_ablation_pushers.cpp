@@ -33,8 +33,7 @@ double costPerParticleStep(const BenchSizes &Sizes) {
   auto Types = ParticleTypeTable<double>::natural();
   UniformFieldSource<double> Field{{{0.1, 0, 0}, {0, 0, 1.0}}};
 
-  const std::string BackendName =
-      getEnvString("HICHI_BENCH_BACKEND").value_or("serial");
+  const std::string BackendName = envPushBackendName("serial");
   auto Backend = requireBackend(BackendName);
   minisycl::queue Queue{minisycl::cpu_device()};
   exec::ExecutionContext Ctx;

@@ -69,6 +69,8 @@ int main() {
   printRule(72);
   double StaticNs = 0;
   for (const std::string &Name : exec::BackendRegistry::instance().names()) {
+    if (!envBackendSelected(Name))
+      continue; // HICHI_BENCH_BACKEND restricts the sweep uniformly
     MeasureConfig Config;
     MeasuredSeries Series = measure(Name, Sizes, &Queue, Config);
     Report.add(recordOf(Name, Sizes, Config, Series));
@@ -80,55 +82,61 @@ int main() {
   }
 
   // --- Dynamic grain sweep: the dpcpp backend with explicit grains.
-  std::printf("\n%-34s %10s  vs openmp static\n", "dpcpp dynamic grain",
-              "median ms");
-  printRule(72);
-  for (Index Grain : {Index(16), Index(64), Index(256), Index(1024),
-                      Index(4096), Index(16384)}) {
-    MeasureConfig Config;
-    Config.Grain = Grain;
-    MeasuredSeries Series = measure("dpcpp", Sizes, &Queue, Config);
-    Report.add(recordOf("dpcpp", Sizes, Config, Series));
-    std::printf("%-34s %10.3f  (%+5.1f%%)\n",
-                ("grain " + std::to_string((long long)Grain)).c_str(),
-                Series.medianNs() / 1e6,
-                StaticNs > 0
-                    ? 100.0 * (Series.medianNs() - StaticNs) / StaticNs
-                    : 0.0);
+  if (envBackendSelected("dpcpp")) {
+    std::printf("\n%-34s %10s  vs openmp static\n", "dpcpp dynamic grain",
+                "median ms");
+    printRule(72);
+    for (Index Grain : {Index(16), Index(64), Index(256), Index(1024),
+                        Index(4096), Index(16384)}) {
+      MeasureConfig Config;
+      Config.Grain = Grain;
+      MeasuredSeries Series = measure("dpcpp", Sizes, &Queue, Config);
+      Report.add(recordOf("dpcpp", Sizes, Config, Series));
+      std::printf("%-34s %10.3f  (%+5.1f%%)\n",
+                  ("grain " + std::to_string((long long)Grain)).c_str(),
+                  Series.medianNs() / 1e6,
+                  StaticNs > 0
+                      ? 100.0 * (Series.medianNs() - StaticNs) / StaticNs
+                      : 0.0);
+    }
   }
 
   // --- Multi-step kernel fusion: K steps per submitted kernel. The
   // per-step submit/join overhead (one handler allocation, one
   // fork/join, one event) is paid once per K steps, so fused must never
   // be slower — and the smaller the per-step work, the larger the win.
-  std::printf("\n%-34s %10s  vs unfused dpcpp\n", "kernel fusion (dpcpp)",
-              "median ms");
-  printRule(72);
-  double UnfusedNs = 0;
-  for (int Fuse : {1, 2, 4, 8, 16}) {
-    MeasureConfig Config;
-    Config.FuseSteps = Fuse;
-    MeasuredSeries Series = measure("dpcpp", Sizes, &Queue, Config);
-    Report.add(recordOf("dpcpp", Sizes, Config, Series));
-    if (Fuse == 1)
-      UnfusedNs = Series.medianNs();
-    std::printf("%-34s %10.3f  (%+5.1f%%)\n",
-                ("fuse " + std::to_string(Fuse) + " steps/kernel").c_str(),
-                Series.medianNs() / 1e6,
-                UnfusedNs > 0
-                    ? 100.0 * (Series.medianNs() - UnfusedNs) / UnfusedNs
-                    : 0.0);
+  if (envBackendSelected("dpcpp")) {
+    std::printf("\n%-34s %10s  vs unfused dpcpp\n", "kernel fusion (dpcpp)",
+                "median ms");
+    printRule(72);
+    double UnfusedNs = 0;
+    for (int Fuse : {1, 2, 4, 8, 16}) {
+      MeasureConfig Config;
+      Config.FuseSteps = Fuse;
+      MeasuredSeries Series = measure("dpcpp", Sizes, &Queue, Config);
+      Report.add(recordOf("dpcpp", Sizes, Config, Series));
+      if (Fuse == 1)
+        UnfusedNs = Series.medianNs();
+      std::printf("%-34s %10.3f  (%+5.1f%%)\n",
+                  ("fuse " + std::to_string(Fuse) + " steps/kernel").c_str(),
+                  Series.medianNs() / 1e6,
+                  UnfusedNs > 0
+                      ? 100.0 * (Series.medianNs() - UnfusedNs) / UnfusedNs
+                      : 0.0);
+    }
   }
   // The same fusion through the static backend (one parallel region per
   // K steps instead of one per step).
-  for (int Fuse : {1, 8}) {
-    MeasureConfig Config;
-    Config.FuseSteps = Fuse;
-    MeasuredSeries Series = measure("openmp", Sizes, &Queue, Config);
-    Report.add(recordOf("openmp", Sizes, Config, Series));
-    std::printf("%-34s %10.3f\n",
-                ("openmp, fuse " + std::to_string(Fuse)).c_str(),
-                Series.medianNs() / 1e6);
+  if (envBackendSelected("openmp")) {
+    for (int Fuse : {1, 8}) {
+      MeasureConfig Config;
+      Config.FuseSteps = Fuse;
+      MeasuredSeries Series = measure("openmp", Sizes, &Queue, Config);
+      Report.add(recordOf("openmp", Sizes, Config, Series));
+      std::printf("%-34s %10.3f\n",
+                  ("openmp, fuse " + std::to_string(Fuse)).c_str(),
+                  Series.medianNs() / 1e6);
+    }
   }
 
   // The term the host cannot show: the cross-socket penalty of flat

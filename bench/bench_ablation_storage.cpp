@@ -54,8 +54,7 @@ int main() {
     }
     CellIndexer<double> Indexer(Grid, Origin, Step);
 
-    const std::string BackendName =
-        getEnvString("HICHI_BENCH_BACKEND").value_or("serial");
+    const std::string BackendName = envPushBackendName("serial");
     auto Backend = requireBackend(BackendName);
     minisycl::queue Queue{minisycl::cpu_device()};
     exec::ExecutionContext Ctx;

@@ -105,6 +105,11 @@ int main() {
     std::printf("%9d", C);
   std::printf("\n");
   for (const Series &S : AllSeries) {
+    // HICHI_BENCH_BACKEND restricts the measured sweep uniformly (the
+    // model rows above always show the full Fig. 1 shape).
+    if (!envBackendSelected(S.Par == Parallelization::OpenMP ? "openmp"
+                                                             : "dpcpp-numa"))
+      continue;
     std::printf("%-18s", S.Name);
     double Serial = 0;
     for (int C : HostPoints) {

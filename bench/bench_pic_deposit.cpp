@@ -1,0 +1,205 @@
+//===-- bench/bench_pic_deposit.cpp - PIC deposit-stage scaling ----------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scaling of the PIC loop's current-deposition stage over the execution
+/// backends: the tiled Esirkepov scatter (pic/TiledCurrentAccumulator.h)
+/// per backend x worker count, against the serial particle-order scatter
+/// as baseline. The per-stage wall times come from PicSimulation's stage
+/// stats, and every configuration's final state hash is checked for
+/// bitwise equality (the tiling determinism guarantee) — the bench fails
+/// if any configuration disagrees.
+///
+/// Backend resolution is uniform with the other benches:
+/// HICHI_BENCH_DEPOSIT_BACKEND (falling back to HICHI_BENCH_BACKEND)
+/// restricts the deposit sweep; the push stage runs on
+/// HICHI_BENCH_BACKEND (default "openmp") throughout. Set
+/// HICHI_BENCH_JSON=<path> to also write hichi-bench-v1 records
+/// (stage = "deposit" / "push").
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchmarkHarness.h"
+
+#include "pic/Diagnostics.h"
+#include "pic/PicSimulation.h"
+
+#include <set>
+#include <thread>
+
+using namespace hichi;
+using namespace hichi::bench;
+using namespace hichi::pic;
+
+namespace {
+
+struct StageResult {
+  MeasuredSeries Deposit;
+  MeasuredSeries Push;
+  std::uint64_t Hash = 0;
+  int Tiles = 0;
+};
+
+/// One measured configuration: a fresh Langmuir-style plasma advanced
+/// warmup + Iterations x Steps steps; per-iteration stage times from the
+/// simulation's accumulated stage stats.
+StageResult measureConfig(const GridSize &N, int PerCell,
+                          const std::string &PushBackend,
+                          const std::string &DepositBackend, int Threads,
+                          int Tiles, const BenchSizes &Sizes) {
+  PicOptions<double> Options;
+  Options.LightVelocity = 1.0;
+  Options.SortEveryNSteps = 20;
+  Options.PushBackend = PushBackend;
+  Options.DepositBackend = DepositBackend;
+  Options.DepositThreads = Threads;
+  Options.DepositTiles = Tiles;
+  const Index NumParticles = N.count() * PerCell;
+  PicSimulation<double> Sim(N, {0, 0, 0}, {0.5, 0.5, 0.5}, NumParticles,
+                            ParticleTypeTable<double>::natural(), Options);
+
+  const double BoxLength = double(N.Nx) * 0.5;
+  const double Volume = BoxLength * double(N.Ny) * 0.5 * double(N.Nz) * 0.5;
+  const double Weight =
+      Volume / (4.0 * constants::Pi * double(NumParticles));
+  for (Index C = 0; C < N.count(); ++C) {
+    const Index I = C / (N.Ny * N.Nz);
+    const Index J = (C / N.Nz) % N.Ny;
+    const Index K = C % N.Nz;
+    for (int P = 0; P < PerCell; ++P) {
+      ParticleT<double> Particle;
+      Particle.Position = {(double(I) + (P + 0.5) / PerCell) * 0.5,
+                           (double(J) + 0.5) * 0.5, (double(K) + 0.5) * 0.5};
+      const double Vx =
+          0.02 * std::sin(2.0 * constants::Pi * Particle.Position.X /
+                          BoxLength);
+      Particle.Momentum = {Vx / std::sqrt(1 - Vx * Vx), 0, 0};
+      Particle.Weight = Weight;
+      Particle.Type = PS_Electron;
+      Sim.addParticle(Particle);
+    }
+  }
+
+  StageResult Out;
+  Sim.run(Sizes.StepsPerIteration); // warmup (first-touch, lists, slabs)
+  double DepositTotal = 0, PushTotal = 0;
+  for (int It = 0; It < Sizes.Iterations; ++It) {
+    const double DepositBefore = Sim.depositStats().HostNs;
+    const double PushBefore = Sim.pushStats().HostNs;
+    Sim.run(Sizes.StepsPerIteration);
+    Out.Deposit.IterationNs.push_back(Sim.depositStats().HostNs -
+                                      DepositBefore);
+    Out.Push.IterationNs.push_back(Sim.pushStats().HostNs - PushBefore);
+    DepositTotal += Out.Deposit.IterationNs.back();
+    PushTotal += Out.Push.IterationNs.back();
+  }
+  Out.Deposit.Nsps =
+      nsPerParticlePerStep(DepositTotal, Sizes.Iterations,
+                           double(NumParticles),
+                           double(Sizes.StepsPerIteration));
+  Out.Push.Nsps = nsPerParticlePerStep(PushTotal, Sizes.Iterations,
+                                       double(NumParticles),
+                                       double(Sizes.StepsPerIteration));
+  Out.Hash = picStateHash(Sim.particles(), Sim.grid());
+  Out.Tiles = Sim.depositTileCount();
+  return Out;
+}
+
+BenchRecord recordOf(const char *Stage, const std::string &Backend,
+                     int Threads, Index Particles, const BenchSizes &Sizes,
+                     const MeasuredSeries &Series) {
+  BenchRecord R;
+  R.Backend = Backend;
+  R.Stage = Stage;
+  R.Scenario = "langmuir";
+  R.Layout = "aos";
+  R.Precision = "double";
+  R.Particles = (long long)Particles;
+  R.Steps = Sizes.StepsPerIteration;
+  R.Iterations = Sizes.Iterations;
+  R.Threads = Threads;
+  R.setSeries(Series);
+  return R;
+}
+
+} // namespace
+
+int main() {
+  BenchSizes Sizes = BenchSizes::fromEnv();
+  const GridSize N{32, 8, 8};
+  const int PerCell =
+      std::max(1, int(Sizes.Particles / N.count()));
+  const Index NumParticles = N.count() * PerCell;
+  const std::string PushBackend = envPushBackendName("openmp");
+
+  const int HostThreads =
+      int(std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> ThreadPoints;
+  for (int T = 1; T <= HostThreads; T *= 2)
+    ThreadPoints.push_back(T);
+  if (ThreadPoints.back() != HostThreads)
+    ThreadPoints.push_back(HostThreads);
+  const int Tiles = 2 * HostThreads; // fixed, so only the workers vary
+
+  std::printf("PIC deposit-stage scaling: %lld particles (%d/cell) on a "
+              "%lldx%lldx%lld grid, %d steps x %d iterations, push on "
+              "'%s'\n\n",
+              (long long)NumParticles, PerCell, (long long)N.Nx,
+              (long long)N.Ny, (long long)N.Nz, Sizes.StepsPerIteration,
+              Sizes.Iterations, PushBackend.c_str());
+
+  JsonReport Report("bench_pic_deposit");
+
+  // Baseline: the classic serial particle-order scatter (1 tile).
+  const StageResult Serial = measureConfig(N, PerCell, PushBackend, "serial",
+                                           0, 1, Sizes);
+  Report.add(recordOf("deposit", "serial", 1, NumParticles, Sizes,
+                      Serial.Deposit));
+  Report.add(recordOf("push", PushBackend, 0, NumParticles, Sizes,
+                      Serial.Push));
+  std::printf("%-14s %8s %6s %12s %9s %10s\n", "deposit backend", "threads",
+              "tiles", "deposit ms", "speedup", "nsps");
+  printRule(66);
+  std::printf("%-14s %8d %6d %12.3f %9s %10.3f\n", "serial", 1, Serial.Tiles,
+              Serial.Deposit.medianNs() / 1e6, "1.00x",
+              Serial.Deposit.Nsps);
+
+  // The tiled scatter over every registered backend x worker count. The
+  // deposit sweep honors HICHI_BENCH_DEPOSIT_BACKEND (falling back to
+  // HICHI_BENCH_BACKEND) like every other bench honors the push variable.
+  const std::string DepositFilter = envDepositBackendName("");
+  bool AllHashesAgree = true;
+  for (const std::string &Name : exec::BackendRegistry::instance().names()) {
+    if (Name == "serial" ||
+        (!DepositFilter.empty() && Name != DepositFilter))
+      continue;
+    for (int Threads : ThreadPoints) {
+      const StageResult R = measureConfig(N, PerCell, PushBackend, Name,
+                                          Threads, Tiles, Sizes);
+      Report.add(recordOf("deposit", Name, Threads, NumParticles, Sizes,
+                          R.Deposit));
+      const double Speedup =
+          R.Deposit.medianNs() > 0
+              ? Serial.Deposit.medianNs() / R.Deposit.medianNs()
+              : 0.0;
+      const bool HashOk = R.Hash == Serial.Hash;
+      AllHashesAgree = AllHashesAgree && HashOk;
+      std::printf("%-14s %8d %6d %12.3f %8.2fx %10.3f%s\n", Name.c_str(),
+                  Threads, R.Tiles, R.Deposit.medianNs() / 1e6, Speedup,
+                  R.Deposit.Nsps, HashOk ? "" : "  HASH MISMATCH");
+    }
+  }
+
+  std::printf("\n(speedup vs the serial scatter; on a single-core host all "
+              "speedups are <= 1 — the tiling overhead without the "
+              "parallel payoff)\n");
+  std::printf("deposit equivalence: %s (all state hashes %s)\n",
+              AllHashesAgree ? "OK" : "FAIL",
+              AllHashesAgree ? "identical" : "DIFFER");
+
+  Report.writeEnvRequested();
+  return AllHashesAgree ? 0 : 1;
+}

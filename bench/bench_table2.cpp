@@ -18,6 +18,8 @@
 
 #include "BenchmarkHarness.h"
 
+#include <limits>
+
 using namespace hichi;
 using namespace hichi::bench;
 using namespace hichi::perfmodel;
@@ -62,6 +64,10 @@ template <typename Real>
 double measureCell(Layout L, Parallelization Par, Scenario S,
                    const BenchSizes &Sizes, minisycl::queue &Queue) {
   const std::string Backend = backendOf(Par);
+  // HICHI_BENCH_BACKEND restricts the host column uniformly; skipped
+  // cells print as nan (paper + model columns are always complete).
+  if (!envBackendSelected(Backend))
+    return std::numeric_limits<double>::quiet_NaN();
   minisycl::queue *Q = Par == Parallelization::OpenMP ? nullptr : &Queue;
   if (L == Layout::AoS)
     return measureNsps<ParticleArrayAoS<Real>>(S, Backend, Sizes, Q);

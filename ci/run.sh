@@ -20,6 +20,10 @@ export HICHI_BENCH_ITERATIONS="${HICHI_BENCH_ITERATIONS:-2}"
 
 HICHI_BENCH_JSON=results/BENCH_scheduling.json ./build/bench_ablation_scheduling
 
+# PIC deposit-stage scaling smoke: also fails by itself if any
+# configuration's state hash deviates from the serial scatter.
+HICHI_BENCH_JSON=results/BENCH_pic_deposit.json ./build/bench_pic_deposit
+
 ./build/hichi_push --list-runners
 for RUNNER in serial openmp dpcpp dpcpp-numa; do
   ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
@@ -37,6 +41,47 @@ if [ "$HASHES" != "1" ]; then
   exit 1
 fi
 echo "runner equivalence: OK (all state hashes identical)"
+
+# The full PIC loop must agree bitwise across push/deposit backends and
+# tile counts (the tiled-deposition determinism guarantee).
+PIC_HASHES="$(
+  for B in serial openmp dpcpp dpcpp-numa; do
+    ./build/pic_langmuir --steps 40 --push-backend "$B" \
+      --deposit-backend "$B" --deposit-tiles 5 \
+      | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  done
+  ./build/pic_langmuir --steps 40 --push-backend serial \
+    --deposit-backend serial \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  ./build/pic_langmuir --steps 40 --deposit-backend openmp \
+    --deposit-tiles 11 --deposit-threads 2 \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+)"
+if [ "$(echo "$PIC_HASHES" | sort -u | wc -l)" != "1" ]; then
+  echo "FAIL: PIC state hashes differ across deposit backends/tiles" >&2
+  exit 1
+fi
+echo "PIC deposit equivalence: OK (all state hashes identical)"
+
+# Docs must not point at files that do not exist: every relative link in
+# README.md and docs/ARCHITECTURE.md is resolved against the repo root.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import os, re, sys
+bad = []
+for doc in ("README.md", "docs/ARCHITECTURE.md"):
+    base = os.path.dirname(doc)
+    for target in re.findall(r"\]\(([^)#]+)(?:#[^)]*)?\)", open(doc).read()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not os.path.exists(os.path.join(base, target)):
+            bad.append(f"{doc} -> {target}")
+if bad:
+    print("FAIL: dangling doc links:\n  " + "\n  ".join(bad), file=sys.stderr)
+    sys.exit(1)
+print("doc links: OK")
+EOF
+fi
 
 # The JSON artifacts must parse.
 if command -v python3 >/dev/null 2>&1; then

@@ -12,9 +12,22 @@
 /// at the plasma frequency omega_p = sqrt(4 pi n e^2 / m). The example
 /// prints the field-energy trace and the measured vs analytic frequency.
 ///
+/// Both backend-parallel PIC stages are configurable from the command
+/// line, and the final state hash is backend-independent — swap
+/// --push-backend / --deposit-backend / --deposit-tiles and the hash must
+/// not move (ci/run.sh checks exactly that):
+///
+/// \code
+///   pic_langmuir --push-backend dpcpp --deposit-backend openmp
+///   pic_langmuir --deposit-backend dpcpp-numa --deposit-tiles 8 --steps 50
+///   pic_langmuir --list-runners
+/// \endcode
+///
 //===----------------------------------------------------------------------===//
 
+#include "pic/Diagnostics.h"
 #include "pic/PicSimulation.h"
+#include "support/ArgParse.h"
 
 #include <cstdio>
 #include <vector>
@@ -22,7 +35,38 @@
 using namespace hichi;
 using namespace hichi::pic;
 
-int main() {
+int main(int Argc, char **Argv) {
+  ArgParser Args("pic_langmuir: cold Langmuir oscillation through the full "
+                 "PIC loop, with both parallel stages on configurable "
+                 "execution backends");
+  Args.addOption("push-backend", "exec backend of the interpolate+push stage",
+                 "openmp");
+  Args.addOption("deposit-backend",
+                 "exec backend of the current-deposition stage", "openmp");
+  Args.addOption("threads", "push worker threads (0 = all)", "0");
+  Args.addOption("deposit-threads", "deposit worker threads (0 = all)", "0");
+  Args.addOption("deposit-tiles",
+                 "current tiles (x-slabs) for the deposit stage (0 = auto)",
+                 "0");
+  Args.addOption("steps", "time steps to run (0 = two plasma periods)", "0");
+  Args.addFlag("list-runners", "list registered execution backends and exit");
+  if (!Args.parse(Argc, Argv)) {
+    std::fprintf(stderr, "error: %s\n", Args.error().c_str());
+    return 1;
+  }
+  if (Args.helpRequested()) {
+    Args.printHelp(Argv[0]);
+    return 0;
+  }
+  if (Args.getFlag("list-runners")) {
+    auto &Registry = exec::BackendRegistry::instance();
+    std::printf("registered execution backends:\n");
+    for (const std::string &Name : Registry.names())
+      std::printf("  %-12s %s\n", Name.c_str(),
+                  Registry.description(Name).c_str());
+    return 0;
+  }
+
   // Natural units (c = m = |e| = 1); weight chosen so omega_p = 1.
   const GridSize N{32, 4, 4};
   const Vector3<double> Step(0.5, 0.5, 0.5);
@@ -36,9 +80,19 @@ int main() {
   PicOptions<double> Options;
   Options.LightVelocity = 1.0;
   Options.SortEveryNSteps = 100;
-  // Route the interpolate+push stage through a registered execution
-  // backend — the same layer the standalone pusher benchmarks use.
-  Options.PushBackend = "openmp";
+  // Route both parallel PIC stages through registered execution
+  // backends — the same layer the standalone pusher benchmarks use.
+  Options.PushBackend = Args.getString("push-backend");
+  Options.PushThreads = int(Args.getInt("threads").value_or(0));
+  Options.DepositBackend = Args.getString("deposit-backend");
+  Options.DepositThreads = int(Args.getInt("deposit-threads").value_or(0));
+  Options.DepositTiles = int(Args.getInt("deposit-tiles").value_or(0));
+  if (!exec::BackendRegistry::instance().contains(Options.PushBackend) ||
+      !exec::BackendRegistry::instance().contains(Options.DepositBackend)) {
+    std::fprintf(stderr, "error: unknown backend (known: %s)\n",
+                 exec::listBackendNames(", ").c_str());
+    return 1;
+  }
   PicSimulation<double> Sim(N, {0, 0, 0}, Step, NumParticles,
                             ParticleTypeTable<double>::natural(), Options);
 
@@ -66,10 +120,14 @@ int main() {
               (long long)NumParticles, (long long)N.Nx, (long long)N.Ny,
               (long long)N.Nz);
 
-  // Run two plasma periods; record the field-energy trace and locate its
-  // maxima (the E energy peaks twice per plasma period).
+  // Run two plasma periods (or the requested step count); record the
+  // field-energy trace and locate its maxima (the E energy peaks twice
+  // per plasma period).
   const double Dt = Sim.timeStep();
-  const int TotalSteps = int(2.0 * 2.0 * constants::Pi / Dt);
+  const int AutoSteps = int(2.0 * 2.0 * constants::Pi / Dt);
+  const int TotalSteps = int(Args.getInt("steps").value_or(0)) > 0
+                             ? int(*Args.getInt("steps"))
+                             : AutoSteps;
   std::vector<double> Energy;
   for (int S = 0; S < TotalSteps; ++S) {
     Sim.step();
@@ -99,7 +157,12 @@ int main() {
   }
   std::printf("energy exchange: kinetic %.3e <-> field %.3e (erg-equivalents)\n",
               Sim.kineticEnergy(), Sim.fieldEnergy());
-  std::printf("push stage ran on the '%s' backend: %.2f ms total\n",
+  std::printf("push stage ran on '%s': %.2f ms total\n",
               Sim.pushBackend().name(), Sim.pushStats().HostNs / 1e6);
+  std::printf("deposit stage ran on '%s' (%d tiles): %.2f ms total\n",
+              Sim.depositBackend().name(), Sim.depositTileCount(),
+              Sim.depositStats().HostNs / 1e6);
+  std::printf("final state hash = %016llx (backend-independent)\n",
+              (unsigned long long)picStateHash(Sim.particles(), Sim.grid()));
   return 0;
 }

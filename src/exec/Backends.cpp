@@ -97,12 +97,15 @@ void DpcppBackend::launch(const LaunchSpec &Spec, const StepKernel &Kernel,
   if (N <= 0 || StepEnd <= StepBegin)
     return;
 
-  // Work items are chunks of the particle range, not particles: the
+  // Work items are chunks of the item range, not single items: the
   // type-erased indirect call happens once per chunk while the scheduler
   // distributes chunks dynamically — the same effective grain the old
   // per-particle kernel shape reached through the handler's dispatch.
-  const Index Grain = Config.Grain > 0
-                          ? Config.Grain
+  // Precedence: explicit user grain, then the launch's own hint (coarse
+  // items like current tiles ask for chunk == item), then the heuristic.
+  const Index Grain = Config.Grain > 0 ? Config.Grain
+                      : Spec.GrainHint > 0
+                          ? Spec.GrainHint
                           : threading::defaultGrain(N, Q.thread_count());
   const Index NumChunks = (N + Grain - 1) / Grain;
   const StepKernel Body = Kernel; // by-copy capture, SYCL kernel semantics

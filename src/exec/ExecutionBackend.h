@@ -11,11 +11,19 @@
 /// objects instead of a hard-coded switch.
 ///
 /// A backend executes a type-erased *block kernel* over the cross product
-/// of a particle range and a fused group of time steps. The type erasure
+/// of an item range and a fused group of time steps. The type erasure
 /// happens at block granularity — one indirect call per contiguous block
-/// of particles, never per particle — so the concrete inner loop is still
+/// of items, never per item — so the concrete inner loop is still
 /// compiled (and vectorized) at the instantiation site of the templated
 /// driver (StepLoop.h), exactly as the old monolithic runner was.
+///
+/// An *item* is any unit of work that is independent of its peers within
+/// one launch. The step loop's items are particles; the PIC deposition's
+/// items are current tiles — read-modify-write blocks that each own a
+/// disjoint slab of the grid and are themselves loops over many
+/// particles (pic/TiledCurrentAccumulator.h). Coarse items like tiles
+/// set LaunchSpec::GrainHint = 1 so dynamically scheduled backends treat
+/// each item as one schedulable chunk.
 ///
 /// Layering: this header is dependency-light (no minisycl/threading
 /// includes) so that templated drivers anywhere in the tree can accept an
@@ -109,19 +117,28 @@ private:
   void (*Invoke)(const void *, Index, Index, int, int);
 };
 
-/// One backend launch: every particle in [0, Items) through the fused
+/// One backend launch: every item in [0, Items) through the fused
 /// step group [StepBegin, StepEnd).
 struct LaunchSpec {
   Index Items = 0;
   int StepBegin = 0;
   int StepEnd = 0;
+
+  /// Preferred items per type-erased kernel call for dynamically
+  /// scheduled backends; 0 = backend heuristic. Launches whose items are
+  /// coarse read-modify-write blocks (current tiles) rather than single
+  /// particles set 1 so every item is one schedulable chunk. An explicit
+  /// BackendConfig::Grain still wins; statically scheduled backends
+  /// ignore the hint (they always hand each worker one contiguous
+  /// block).
+  Index GrainHint = 0;
 };
 
-/// An execution strategy for particle loops. Implementations must be
+/// An execution strategy for item loops. Implementations must be
 /// result-deterministic: any partitioning of [0, Items) is legal because
-/// block kernels are order-independent across particles, but every
-/// particle must be visited exactly once per step and steps must be
-/// ascending per particle — that is what keeps all backends bit-identical
+/// block kernels are order-independent across items, but every
+/// item must be visited exactly once per step and steps must be
+/// ascending per item — that is what keeps all backends bit-identical
 /// (the paper Section 4 equivalence claim, enforced by
 /// tests/core/RunnerEquivalenceTest.cpp).
 class ExecutionBackend {

@@ -18,6 +18,19 @@
 ///     one cell per step (guaranteed by the Courant-limited dt since
 ///     |v| < c).
 ///
+/// Both schemes are written as *scatter kernels over a current sink*: the
+/// kernel computes per-node contributions and hands them to a sink's
+/// addJx/addJy/addJz(I, J, K, Value) with unwrapped node indices. The
+/// GridCurrentSink below writes straight through the periodic YeeGrid
+/// (the classic serial path, wrapped by the deposit* functions); the
+/// TiledCurrentAccumulator's per-tile sink filters writes by x-plane
+/// ownership so the scatter can run backend-parallel while staying
+/// bit-identical to the serial particle-order loop.
+///
+/// The footprint helpers expose each scheme's x-node support (stencil
+/// plus staggering halo) so the tiling layer can bin particles to the
+/// tiles their writes can reach.
+///
 /// Charge density deposition for diagnostics uses the same CIC shape.
 ///
 //===----------------------------------------------------------------------===//
@@ -34,6 +47,23 @@
 
 namespace hichi {
 namespace pic {
+
+/// The default current sink: periodic read-modify-write straight into the
+/// Yee grid's J lattices (the serial reference path). wantsX is the
+/// scatter kernels' plane-skip hook — constant true here, so the
+/// compiler removes the checks entirely on this path.
+template <typename Real> class GridCurrentSink {
+public:
+  explicit GridCurrentSink(YeeGrid<Real> &Grid) : Grid(Grid) {}
+
+  bool wantsX(Index) const { return true; }
+  void addJx(Index I, Index J, Index K, Real V) { Grid.Jx(I, J, K) += V; }
+  void addJy(Index I, Index J, Index K, Real V) { Grid.Jy(I, J, K) += V; }
+  void addJz(Index I, Index J, Index K, Real V) { Grid.Jz(I, J, K) += V; }
+
+private:
+  YeeGrid<Real> &Grid;
+};
 
 /// Deposits charge density of one particle with the CIC shape into
 /// \p Rho (node-centered lattice). \p Charge is the *total* macro-charge
@@ -57,35 +87,58 @@ void depositChargeCic(ScalarLattice<Real> &Rho, const YeeGrid<Real> &Grid,
         Rho(BX + I, BY + J, BZ + K) += Density * WX[I] * WY[J] * WZ[K];
 }
 
-/// Direct (momentum-conserving) deposition of one particle's current
-/// q v S(r) at the midpoint position, CIC shape, onto the E sub-lattices.
-template <typename Real>
-void depositCurrentDirect(YeeGrid<Real> &Grid, const Vector3<Real> &MidPos,
+/// Direct (momentum-conserving) scatter of one particle's current
+/// q v S(r) at the midpoint position, CIC shape, onto the E sub-lattices
+/// of \p Sink. \p GridStep / \p GridOrigin are the lattice geometry.
+template <typename Real, typename Sink>
+void scatterCurrentDirect(Sink &S, const Vector3<Real> &GridStep,
+                          const Vector3<Real> &GridOrigin,
+                          const Vector3<Real> &MidPos,
                           const Vector3<Real> &Velocity, Real Charge) {
-  const Vector3<Real> D = Grid.step();
-  const Vector3<Real> O = Grid.origin();
+  const Vector3<Real> D = GridStep;
+  const Vector3<Real> O = GridOrigin;
   const Real CellVolume = D.X * D.Y * D.Z;
   const Vector3<Real> JDensity = Velocity * (Charge / CellVolume);
 
-  // Each J component lives on its E point's staggered sub-lattice.
-  auto DepositComponent = [&](ScalarLattice<Real> &JComp, Real Value, Real Ox,
-                              Real Oy, Real Oz) {
+  // Each J component lives on its E point's staggered sub-lattice. The
+  // wantsX hook lets a tile sink skip whole rejected x-planes.
+  auto DepositComponent = [&](int Component, Real Value, Real Ox, Real Oy,
+                              Real Oz) {
     Index BX, BY, BZ;
     Real WX[2], WY[2], WZ[2];
     CicShape::weights((MidPos.X - O.X) / D.X - Ox, BX, WX);
     CicShape::weights((MidPos.Y - O.Y) / D.Y - Oy, BY, WY);
     CicShape::weights((MidPos.Z - O.Z) / D.Z - Oz, BZ, WZ);
-    for (int I = 0; I < 2; ++I)
+    for (int I = 0; I < 2; ++I) {
+      if (!S.wantsX(BX + I))
+        continue;
       for (int J = 0; J < 2; ++J)
-        for (int K = 0; K < 2; ++K)
-          JComp(BX + I, BY + J, BZ + K) += Value * WX[I] * WY[J] * WZ[K];
+        for (int K = 0; K < 2; ++K) {
+          const Real V = Value * WX[I] * WY[J] * WZ[K];
+          if (Component == 0)
+            S.addJx(BX + I, BY + J, BZ + K, V);
+          else if (Component == 1)
+            S.addJy(BX + I, BY + J, BZ + K, V);
+          else
+            S.addJz(BX + I, BY + J, BZ + K, V);
+        }
+    }
   };
-  DepositComponent(Grid.Jx, JDensity.X, Real(0.5), Real(0), Real(0));
-  DepositComponent(Grid.Jy, JDensity.Y, Real(0), Real(0.5), Real(0));
-  DepositComponent(Grid.Jz, JDensity.Z, Real(0), Real(0), Real(0.5));
+  DepositComponent(0, JDensity.X, Real(0.5), Real(0), Real(0));
+  DepositComponent(1, JDensity.Y, Real(0), Real(0.5), Real(0));
+  DepositComponent(2, JDensity.Z, Real(0), Real(0), Real(0.5));
 }
 
-/// Esirkepov charge-conserving deposition of one particle moving from
+/// Direct deposition straight into \p Grid (serial reference path).
+template <typename Real>
+void depositCurrentDirect(YeeGrid<Real> &Grid, const Vector3<Real> &MidPos,
+                          const Vector3<Real> &Velocity, Real Charge) {
+  GridCurrentSink<Real> S(Grid);
+  scatterCurrentDirect(S, Grid.step(), Grid.origin(), MidPos, Velocity,
+                       Charge);
+}
+
+/// Esirkepov charge-conserving scatter of one particle moving from
 /// \p OldPos to \p NewPos over \p Dt (positions *not* wrapped — pass the
 /// unwrapped new position so the displacement is the physical one).
 ///
@@ -93,12 +146,14 @@ void depositCurrentDirect(YeeGrid<Real> &Grid, const Vector3<Real> &MidPos,
 /// support is 3 nodes per axis, so the decomposition runs over a 3^3
 /// stencil. The flows W are integrated into J by cumulative sums along
 /// each axis.
-template <typename Real>
-void depositCurrentEsirkepov(YeeGrid<Real> &Grid, const Vector3<Real> &OldPos,
+template <typename Real, typename Sink>
+void scatterCurrentEsirkepov(Sink &S, const Vector3<Real> &GridStep,
+                             const Vector3<Real> &GridOrigin,
+                             const Vector3<Real> &OldPos,
                              const Vector3<Real> &NewPos, Real Charge,
                              Real Dt) {
-  const Vector3<Real> D = Grid.step();
-  const Vector3<Real> O = Grid.origin();
+  const Vector3<Real> D = GridStep;
+  const Vector3<Real> O = GridOrigin;
 
   // Node-relative coordinates (node-centered lattice for rho).
   const Real X0 = (OldPos.X - O.X) / D.X, X1 = (NewPos.X - O.X) / D.X;
@@ -114,10 +169,10 @@ void depositCurrentEsirkepov(YeeGrid<Real> &Grid, const Vector3<Real> &OldPos,
   const Index BZ = Index(std::floor(std::min(Z0, Z1)));
 
   // CIC shapes evaluated on the 3-node stencil {B, B+1, B+2}.
-  auto ShapeOnStencil = [](Real X, Index Base, Real S[3]) {
+  auto ShapeOnStencil = [](Real X, Index Base, Real Sh[3]) {
     for (int I = 0; I < 3; ++I) {
       const Real Distance = std::abs(X - Real(Base + I));
-      S[I] = Distance < Real(1) ? Real(1) - Distance : Real(0);
+      Sh[I] = Distance < Real(1) ? Real(1) - Distance : Real(0);
     }
   };
   Real S0x[3], S1x[3], S0y[3], S1y[3], S0z[3], S1z[3];
@@ -149,29 +204,68 @@ void depositCurrentEsirkepov(YeeGrid<Real> &Grid, const Vector3<Real> &OldPos,
       Real Flow = 0;
       for (int I = 0; I < 2; ++I) { // flow leaves through faces 0..1
         Flow -= DSx[I] * WyzX;
-        Grid.Jx(BX + I, BY + J, BZ + K) += QOverDtV * D.X * Flow;
+        S.addJx(BX + I, BY + J, BZ + K, QOverDtV * D.X * Flow);
       }
     }
-  for (int I = 0; I < 3; ++I)
+  // The Jy/Jz cumulative flows run per x-plane independently, so a tile
+  // sink skips rejected planes wholesale through wantsX (Jx's flow
+  // accumulates *along* x and keeps the per-write filter instead).
+  for (int I = 0; I < 3; ++I) {
+    if (!S.wantsX(BX + I))
+      continue;
     for (int K = 0; K < 3; ++K) {
       const Real WxzY = S0x[I] * S0z[K] + Half * DSx[I] * S0z[K] +
                         Half * S0x[I] * DSz[K] + Third * DSx[I] * DSz[K];
       Real Flow = 0;
       for (int J = 0; J < 2; ++J) {
         Flow -= DSy[J] * WxzY;
-        Grid.Jy(BX + I, BY + J, BZ + K) += QOverDtV * D.Y * Flow;
+        S.addJy(BX + I, BY + J, BZ + K, QOverDtV * D.Y * Flow);
       }
     }
-  for (int I = 0; I < 3; ++I)
+  }
+  for (int I = 0; I < 3; ++I) {
+    if (!S.wantsX(BX + I))
+      continue;
     for (int J = 0; J < 3; ++J) {
       const Real WxyZ = S0x[I] * S0y[J] + Half * DSx[I] * S0y[J] +
                         Half * S0x[I] * DSy[J] + Third * DSx[I] * DSy[J];
       Real Flow = 0;
       for (int K = 0; K < 2; ++K) {
         Flow -= DSz[K] * WxyZ;
-        Grid.Jz(BX + I, BY + J, BZ + K) += QOverDtV * D.Z * Flow;
+        S.addJz(BX + I, BY + J, BZ + K, QOverDtV * D.Z * Flow);
       }
     }
+  }
+}
+
+/// Esirkepov deposition straight into \p Grid (serial reference path).
+template <typename Real>
+void depositCurrentEsirkepov(YeeGrid<Real> &Grid, const Vector3<Real> &OldPos,
+                             const Vector3<Real> &NewPos, Real Charge,
+                             Real Dt) {
+  GridCurrentSink<Real> S(Grid);
+  scatterCurrentEsirkepov(S, Grid.step(), Grid.origin(), OldPos, NewPos,
+                          Charge, Dt);
+}
+
+/// Inclusive *unwrapped* x-node range [Lo, Hi] the Esirkepov scatter of a
+/// move from node-relative \p X0Rel to \p X1Rel writes: the 3-node
+/// stencil from the common base (Jx touches only [Lo, Lo+1], Jy/Jz the
+/// full 3 nodes).
+template <typename Real>
+inline void esirkepovFootprintX(Real X0Rel, Real X1Rel, Index &Lo,
+                                Index &Hi) {
+  Lo = Index(std::floor(std::min(X0Rel, X1Rel)));
+  Hi = Lo + 2;
+}
+
+/// Same for the direct CIC scatter at node-relative midpoint \p XMidRel:
+/// the staggered Jx sub-lattice reaches half a cell left of the
+/// node-centered Jy/Jz base, hence the extra halo node.
+template <typename Real>
+inline void directFootprintX(Real XMidRel, Index &Lo, Index &Hi) {
+  Lo = Index(std::floor(XMidRel - Real(0.5)));
+  Hi = Index(std::floor(XMidRel)) + 1;
 }
 
 } // namespace pic

@@ -20,11 +20,14 @@
 
 #include "core/Particle.h"
 #include "core/ParticleTypes.h"
+#include "pic/YeeGrid.h"
 #include "support/Logging.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -120,6 +123,38 @@ private:
   int YBins;
   std::vector<double> Counts;
 };
+
+/// FNV-1a over the particle states (positions, momenta, gamma) and the
+/// grid's nine field/current lattices, so cross-backend PIC runs can be
+/// compared for bitwise equality from the console and CI — the PIC
+/// analogue of hichi_push's final state hash. Two runs differing in push
+/// backend, deposit backend, threads or tile count must print the same
+/// hash for the same physics configuration.
+template <typename Array, typename Real>
+std::uint64_t picStateHash(const Array &Particles, const YeeGrid<Real> &Grid) {
+  std::uint64_t Hash = 1469598103934665603ULL;
+  auto Mix = [&Hash](Real V) {
+    unsigned char Bytes[sizeof(Real)];
+    std::memcpy(Bytes, &V, sizeof(Real));
+    for (unsigned char B : Bytes) {
+      Hash ^= B;
+      Hash *= 1099511628211ULL;
+    }
+  };
+  auto View = Particles.view();
+  for (Index I = 0, E = View.size(); I < E; ++I) {
+    auto P = View[I];
+    const Vector3<Real> Pos = P.position(), Mom = P.momentum();
+    for (Real V : {Pos.X, Pos.Y, Pos.Z, Mom.X, Mom.Y, Mom.Z, P.gamma()})
+      Mix(V);
+  }
+  for (const ScalarLattice<Real> *L :
+       {&Grid.Ex, &Grid.Ey, &Grid.Ez, &Grid.Bx, &Grid.By, &Grid.Bz,
+        &Grid.Jx, &Grid.Jy, &Grid.Jz})
+    for (Real V : L->raw())
+      Mix(V);
+  return Hash;
+}
 
 /// Summary statistics over an ensemble (any layout, via proxies).
 struct EnsembleSummary {

@@ -13,7 +13,11 @@
 ///      charge-conserving),
 ///   4. advance Maxwell's equations (FDTD on the Yee grid),
 ///
-/// with periodic boundaries for particles and fields. This is the
+/// with periodic boundaries for particles and fields. Stages 1+2 run as
+/// one independent-particle kernel and stage 3 as a tiled
+/// read-modify-write kernel, each on its own configurable execution
+/// backend (PicOptions::PushBackend / DepositBackend) — see
+/// docs/ARCHITECTURE.md for the full stage-to-backend map. This is the
 /// substrate the standalone pusher benchmarks carve their kernel out of.
 ///
 //===----------------------------------------------------------------------===//
@@ -28,10 +32,13 @@
 #include "pic/FieldInterpolator.h"
 #include "pic/ParticleSorter.h"
 #include "pic/SpectralSolver.h"
+#include "pic/TiledCurrentAccumulator.h"
 #include "pic/YeeGrid.h"
+#include "support/Timer.h"
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace hichi {
@@ -53,13 +60,26 @@ template <typename Real> struct PicOptions {
   FieldSolverKind Solver = FieldSolverKind::Fdtd;
 
   /// Execution backend (exec registry name) for the interpolate+push
-  /// stage. Any registered backend gives bit-identical results: particles
-  /// are independent during the push, and the (coupling) current
-  /// deposition stays serial in particle order.
+  /// stage. Particles are independent during the push, so any registered
+  /// backend gives bit-identical results.
   std::string PushBackend = "serial";
 
   /// Worker threads for the push stage; 0 means all.
   int PushThreads = 0;
+
+  /// Execution backend for the current-deposition stage. The scatter
+  /// couples particles through the grid, so it runs as per-tile
+  /// read-modify-write blocks with a fixed-order reduction
+  /// (TiledCurrentAccumulator); results are bit-identical to the serial
+  /// scatter for every backend, thread count and tile count.
+  std::string DepositBackend = "serial";
+
+  /// Worker threads for the deposit stage; 0 means all.
+  int DepositThreads = 0;
+
+  /// Current tiles (x-slabs) for the deposit stage; 0 = auto (1 for the
+  /// serial backend, else two tiles per worker, capped at the grid's Nx).
+  int DepositTiles = 0;
 };
 
 /// A complete electromagnetic PIC simulation over one periodic box.
@@ -76,8 +96,15 @@ public:
                                   {this->Options.PushThreads, /*Grain=*/0});
     if (!Backend)
       fatalError("PicOptions::PushBackend names no registered backend");
-    if (Backend->needsQueue())
-      PushQueue = std::make_unique<minisycl::queue>(minisycl::cpu_device());
+    DepositExec =
+        exec::createBackend(this->Options.DepositBackend,
+                            {this->Options.DepositThreads, /*Grain=*/0});
+    if (!DepositExec)
+      fatalError("PicOptions::DepositBackend names no registered backend");
+    if (Backend->needsQueue() || DepositExec->needsQueue())
+      Queue = std::make_unique<minisycl::queue>(minisycl::cpu_device());
+    Accumulator = std::make_unique<TiledCurrentAccumulator<Real>>(
+        Size, Origin, Step, resolveDepositTiles());
     if (this->Options.TimeStep <= Real(0))
       this->Options.TimeStep = Solver.courantLimit(Grid) / Real(2);
     if (this->Options.Solver == FieldSolverKind::Spectral)
@@ -116,7 +143,7 @@ public:
 
     Grid.clearCurrent();
 
-    // Stage 1 — interpolate + push, routed through the execution backend
+    // Stage 1 — interpolate + push, routed through the push backend
     // (particles are independent here, so any backend is bit-identical).
     // Old positions are kept aside because the deposition needs both ends
     // of the same move.
@@ -135,26 +162,34 @@ public:
     const exec::StepKernel Kernel(Block,
                                   exec::kernelIdentity<decltype(Block)>());
     exec::ExecutionContext Ctx;
-    Ctx.Queue = PushQueue.get();
+    Ctx.Queue = Queue.get();
     // One step per launch: the deposition below couples particles, so
     // multi-step fusion is not legal for the PIC loop.
     Backend->launch({N, Steps, Steps + 1}, Kernel, Ctx, PushTiming);
 
-    // Stage 2 — current deposition, serial in particle order (the grid
-    // scatter is a cross-particle reduction; parallelizing it is a
-    // ROADMAP item), then the periodic wrap.
+    // Stage 2 — wrap positions back into the box, keeping the unwrapped
+    // endpoints aside: the deposition needs the physical displacement.
+    NewPositions.resize(std::size_t(N));
+    Vector3<Real> *NewPos = NewPositions.data();
     for (Index I = 0; I < N; ++I) {
       auto P = View[I];
-      const Vector3<Real> NewPos = P.position(); // unwrapped
-      const Real MacroCharge = TypesPtr[P.type()].Charge * P.weight();
-      if (Options.ChargeConserving) {
-        depositCurrentEsirkepov(Grid, OldPos[I], NewPos, MacroCharge, Dt);
-      } else {
-        const Vector3<Real> V = (NewPos - OldPos[I]) / Dt;
-        depositCurrentDirect(Grid, (OldPos[I] + NewPos) * Real(0.5), V,
-                             MacroCharge);
-      }
-      P.setPosition(Grid.wrapPosition(NewPos));
+      const Vector3<Real> Pos = P.position(); // unwrapped
+      NewPos[I] = Pos;
+      P.setPosition(Grid.wrapPosition(Pos));
+    }
+
+    // Stage 3 — current deposition through the deposit backend: per-tile
+    // private accumulation plus fixed-order reduction, bit-identical to
+    // the serial particle-order scatter (TiledCurrentAccumulator.h).
+    {
+      Stopwatch Watch;
+      RunStats LaunchStats; // kernel-only share; the stage metric is wall
+      Accumulator->deposit(Grid, View, OldPos, NewPos, TypesPtr, Dt,
+                           Options.ChargeConserving, *DepositExec, Ctx,
+                           LaunchStats);
+      const double Ns = double(Watch.elapsedNanoseconds());
+      DepositTiming.HostNs += Ns;
+      DepositTiming.ModeledNs += Ns;
     }
 
     if (Spectral)
@@ -207,10 +242,34 @@ public:
   /// The execution backend running the push stage.
   const exec::ExecutionBackend &pushBackend() const { return *Backend; }
 
+  /// The execution backend running the deposit stage.
+  const exec::ExecutionBackend &depositBackend() const { return *DepositExec; }
+
+  /// Current tiles the deposit stage scatters into.
+  int depositTileCount() const { return Accumulator->tileCount(); }
+
   /// Accumulated timing of the push stage across all steps so far.
   const RunStats &pushStats() const { return PushTiming; }
 
+  /// Accumulated wall time of the deposit stage (binning + accumulate +
+  /// reduce) across all steps so far.
+  const RunStats &depositStats() const { return DepositTiming; }
+
 private:
+  /// The deposit tile count: the explicit option, or 1 for the serial
+  /// backend (the classic scatter, no private slabs), else two tiles per
+  /// worker so dynamic backends can balance uneven particle densities.
+  int resolveDepositTiles() const {
+    if (Options.DepositTiles > 0)
+      return Options.DepositTiles;
+    if (std::string(DepositExec->name()) == "serial")
+      return 1;
+    const int Workers = Options.DepositThreads > 0
+                            ? Options.DepositThreads
+                            : int(std::thread::hardware_concurrency());
+    return 2 * std::max(1, Workers);
+  }
+
   YeeGrid<Real> Grid;
   Array Particles;
   ParticleTypeTable<Real> Types;
@@ -219,9 +278,13 @@ private:
   CellIndexer<Real> Indexer;
   PicOptions<Real> Options;
   std::unique_ptr<exec::ExecutionBackend> Backend;
-  std::unique_ptr<minisycl::queue> PushQueue;
+  std::unique_ptr<exec::ExecutionBackend> DepositExec;
+  std::unique_ptr<TiledCurrentAccumulator<Real>> Accumulator;
+  std::unique_ptr<minisycl::queue> Queue;
   std::vector<Vector3<Real>> OldPositions;
+  std::vector<Vector3<Real>> NewPositions;
   RunStats PushTiming;
+  RunStats DepositTiming;
   Real CurrentTime = Real(0);
   int Steps = 0;
 };

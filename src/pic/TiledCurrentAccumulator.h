@@ -1,0 +1,317 @@
+//===-- pic/TiledCurrentAccumulator.h - Parallel current scatter -*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend-parallel current deposition. The Esirkepov/direct scatter is a
+/// cross-particle read-modify-write into the Yee grid's J lattices, so it
+/// cannot be parallelized over particles the way the push stage is — two
+/// particles in neighbouring cells write the same nodes. Instead the
+/// grid's x-planes are partitioned into disjoint *tiles* (x-slabs,
+/// following the sorter's x-major cell order, so a cell-sorted ensemble
+/// yields nearly contiguous per-tile particle lists), and one PIC-step
+/// deposition becomes three phases:
+///
+///   1. bin (host, O(N)): each particle's scheme footprint (stencil plus
+///      the CIC/Esirkepov staggering halo, see the footprint helpers in
+///      CurrentDeposition.h) decides which tiles it can write; its index
+///      is appended to those tiles' lists, so every list is ascending;
+///   2. accumulate (one backend launch, items = tiles, GrainHint = 1):
+///      each tile replays its list in order into a private slab lattice,
+///      discarding writes that fall outside its owned planes;
+///   3. reduce (one backend launch, items = tiles): each tile adds its
+///      slab into the grid; tiles are walked in ascending order within
+///      every block.
+///
+/// Determinism argument (docs/ARCHITECTURE.md spells it out in full):
+/// every J node is owned by exactly one tile, so it receives exactly the
+/// contributions the serial particle-order scatter gives it, in the same
+/// order, folded from the same +0.0 — and the reduction adds that partial
+/// sum onto the grid's cleared +0.0, a bitwise identity. Results are
+/// therefore bit-identical to the serial scatter for every registered
+/// backend, thread count and tile count (enforced by
+/// tests/pic/TiledDepositionTest.cpp); the fixed reduction order is
+/// belt-and-braces on top of the disjoint ownership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_PIC_TILEDCURRENTACCUMULATOR_H
+#define HICHI_PIC_TILEDCURRENTACCUMULATOR_H
+
+#include "core/ParticleTypes.h"
+#include "exec/ExecutionBackend.h"
+#include "pic/CurrentDeposition.h"
+#include "pic/YeeGrid.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hichi {
+namespace pic {
+
+/// A current sink restricted to one tile's owned x-planes: writes whose
+/// wrapped x-node falls outside [PlaneBegin, PlaneEnd) are dropped (the
+/// neighbouring tile owns them and replays the same particle itself).
+template <typename Real> class TileCurrentSink {
+public:
+  TileCurrentSink(Real *Jx, Real *Jy, Real *Jz, Index PlaneBegin,
+                  Index PlaneEnd, GridSize Size)
+      : Jx(Jx), Jy(Jy), Jz(Jz), PlaneBegin(PlaneBegin), PlaneEnd(PlaneEnd),
+        Size(Size) {}
+
+  /// Plane-skip hook for the scatter kernels: true iff this tile owns
+  /// the (wrapped) x-plane \p I.
+  bool wantsX(Index I) const {
+    const Index WI = wrapNear(I, Size.Nx);
+    return WI >= PlaneBegin && WI < PlaneEnd;
+  }
+
+  void addJx(Index I, Index J, Index K, Real V) {
+    if (Real *P = slot(Jx, I, J, K))
+      *P += V;
+  }
+  void addJy(Index I, Index J, Index K, Real V) {
+    if (Real *P = slot(Jy, I, J, K))
+      *P += V;
+  }
+  void addJz(Index I, Index J, Index K, Real V) {
+    if (Real *P = slot(Jz, I, J, K))
+      *P += V;
+  }
+
+private:
+  /// Periodic wrap for stencil indices, which are always within
+  /// [-1, N+1]: the CIC/Esirkepov bases come from floor() of in-box
+  /// node-relative positions (old positions are wrapped every step), so
+  /// a couple of conditional adds replace the %-based
+  /// ScalarLattice::wrap on this hot path. The loops run at most twice.
+  static Index wrapNear(Index I, Index N) {
+    while (I < 0)
+      I += N;
+    while (I >= N)
+      I -= N;
+    return I;
+  }
+
+  Real *slot(Real *Base, Index I, Index J, Index K) const {
+    const Index WI = wrapNear(I, Size.Nx);
+    if (WI < PlaneBegin || WI >= PlaneEnd)
+      return nullptr;
+    const Index WJ = wrapNear(J, Size.Ny);
+    const Index WK = wrapNear(K, Size.Nz);
+    return Base + ((WI - PlaneBegin) * Size.Ny + WJ) * Size.Nz + WK;
+  }
+
+  Real *Jx, *Jy, *Jz;
+  Index PlaneBegin, PlaneEnd;
+  GridSize Size;
+};
+
+/// Runs the per-step current deposition over an exec::ExecutionBackend,
+/// bit-identical to the serial particle-order scatter (see the file
+/// comment for the three-phase scheme and the determinism argument).
+/// One accumulator instance is meant to live as long as its simulation:
+/// tile lists and slab lattices are reused across steps.
+template <typename Real> class TiledCurrentAccumulator {
+public:
+  /// Partitions the \p Size.Nx x-planes into \p RequestedTiles slabs
+  /// (clamped to [1, Nx]), split as evenly as staticBlock splits particle
+  /// ranges. One tile means the classic serial scatter with no private
+  /// slabs at all.
+  TiledCurrentAccumulator(GridSize Size, Vector3<Real> Origin,
+                          Vector3<Real> Step, int RequestedTiles)
+      : Size(Size), Origin(Origin), Step(Step) {
+    const Index NumTiles = std::min<Index>(
+        std::max<Index>(1, Index(RequestedTiles)), Size.Nx);
+    Tiles.resize(std::size_t(NumTiles));
+    OwnerOfPlane.resize(std::size_t(Size.Nx));
+    const std::size_t PlaneElems =
+        std::size_t(Size.Ny) * std::size_t(Size.Nz);
+    const Index Base = Size.Nx / NumTiles;
+    const Index Extra = Size.Nx % NumTiles;
+    for (Index T = 0; T < NumTiles; ++T) {
+      Tile &Slab = Tiles[std::size_t(T)];
+      Slab.PlaneBegin = T * Base + std::min(T, Extra);
+      Slab.PlaneEnd = Slab.PlaneBegin + Base + (T < Extra ? 1 : 0);
+      for (Index P = Slab.PlaneBegin; P < Slab.PlaneEnd; ++P)
+        OwnerOfPlane[std::size_t(P)] = int(T);
+      if (NumTiles > 1) {
+        const std::size_t Elems =
+            std::size_t(Slab.PlaneEnd - Slab.PlaneBegin) * PlaneElems;
+        Slab.Jx.assign(Elems, Real(0));
+        Slab.Jy.assign(Elems, Real(0));
+        Slab.Jz.assign(Elems, Real(0));
+      }
+    }
+  }
+
+  int tileCount() const { return int(Tiles.size()); }
+
+  /// Deposits the currents of every particle of \p View moving from
+  /// \p OldPos[i] to \p NewPos[i] (both *unwrapped*) into \p Grid's J
+  /// lattices, Esirkepov when \p ChargeConserving else direct CIC,
+  /// through \p Backend. \p Stats accumulates the two launches' kernel
+  /// time. The grid's J lattices must have been cleared this step.
+  template <typename ParticleView>
+  void deposit(YeeGrid<Real> &Grid, const ParticleView &View,
+               const Vector3<Real> *OldPos, const Vector3<Real> *NewPos,
+               const ParticleTypeInfo<Real> *Types, Real Dt,
+               bool ChargeConserving, exec::ExecutionBackend &Backend,
+               const exec::ExecutionContext &Ctx, RunStats &Stats) {
+    const Index N = View.size();
+    const Vector3<Real> D = Step, O = Origin;
+
+    if (tileCount() == 1) {
+      // One tile owns the whole grid: the plain serial particle-order
+      // scatter as a single launch item (nothing to partition).
+      YeeGrid<Real> *GridPtr = &Grid;
+      auto Block = [=](Index, Index, int, int) {
+        GridCurrentSink<Real> Sink(*GridPtr);
+        for (Index I = 0; I < N; ++I)
+          scatterParticle(Sink, View[I], OldPos[I], NewPos[I], Types, D, O,
+                          Dt, ChargeConserving);
+      };
+      launchOverTiles(Backend, Ctx, Stats, 1, Block);
+      return;
+    }
+
+    binParticles(OldPos, NewPos, ChargeConserving, N);
+
+    // Phase 2 — per-tile private accumulation. Tiles own disjoint plane
+    // ranges, so any backend may run them in any order concurrently.
+    Tile *TilesPtr = Tiles.data();
+    const GridSize Sz = Size;
+    auto Accumulate = [=](Index Begin, Index End, int, int) {
+      for (Index T = Begin; T < End; ++T) {
+        Tile &Slab = TilesPtr[T];
+        if (Slab.Particles.empty())
+          continue;
+        std::fill(Slab.Jx.begin(), Slab.Jx.end(), Real(0));
+        std::fill(Slab.Jy.begin(), Slab.Jy.end(), Real(0));
+        std::fill(Slab.Jz.begin(), Slab.Jz.end(), Real(0));
+        TileCurrentSink<Real> Sink(Slab.Jx.data(), Slab.Jy.data(),
+                                   Slab.Jz.data(), Slab.PlaneBegin,
+                                   Slab.PlaneEnd, Sz);
+        for (Index I : Slab.Particles)
+          scatterParticle(Sink, View[I], OldPos[I], NewPos[I], Types, D, O,
+                          Dt, ChargeConserving);
+      }
+    };
+    launchOverTiles(Backend, Ctx, Stats, Index(tileCount()), Accumulate);
+
+    // Phase 3 — reduction into the grid, ascending tile order within each
+    // block. Owned plane ranges are disjoint and plane-contiguous in the
+    // lattice storage, so tiles reduce race-free in parallel too.
+    const std::size_t PlaneElems =
+        std::size_t(Size.Ny) * std::size_t(Size.Nz);
+    Real *GJx = Grid.Jx.raw().data();
+    Real *GJy = Grid.Jy.raw().data();
+    Real *GJz = Grid.Jz.raw().data();
+    auto Reduce = [=](Index Begin, Index End, int, int) {
+      for (Index T = Begin; T < End; ++T) {
+        const Tile &Slab = TilesPtr[T];
+        if (Slab.Particles.empty())
+          continue;
+        const std::size_t Offset = std::size_t(Slab.PlaneBegin) * PlaneElems;
+        const std::size_t Count =
+            std::size_t(Slab.PlaneEnd - Slab.PlaneBegin) * PlaneElems;
+        for (std::size_t E = 0; E < Count; ++E) {
+          GJx[Offset + E] += Slab.Jx[E];
+          GJy[Offset + E] += Slab.Jy[E];
+          GJz[Offset + E] += Slab.Jz[E];
+        }
+      }
+    };
+    launchOverTiles(Backend, Ctx, Stats, Index(tileCount()), Reduce);
+  }
+
+private:
+  struct Tile {
+    Index PlaneBegin = 0;          ///< first owned x-plane
+    Index PlaneEnd = 0;            ///< one past the last owned x-plane
+    std::vector<Index> Particles;  ///< ascending indices, rebuilt per step
+    std::vector<Real> Jx, Jy, Jz;  ///< private slab lattices (empty if 1 tile)
+  };
+
+  /// One particle's scatter through \p Sink, both schemes.
+  template <typename Sink, typename Proxy>
+  static void scatterParticle(Sink &S, Proxy P, const Vector3<Real> &From,
+                              const Vector3<Real> &To,
+                              const ParticleTypeInfo<Real> *Types,
+                              const Vector3<Real> &D, const Vector3<Real> &O,
+                              Real Dt, bool ChargeConserving) {
+    const Real MacroCharge = Types[P.type()].Charge * P.weight();
+    if (ChargeConserving) {
+      scatterCurrentEsirkepov(S, D, O, From, To, MacroCharge, Dt);
+    } else {
+      const Vector3<Real> V = (To - From) / Dt;
+      scatterCurrentDirect(S, D, O, (From + To) * Real(0.5), V, MacroCharge);
+    }
+  }
+
+  /// Phase 1 — bins particle indices into the tiles their scheme
+  /// footprint can touch (at most 3 x-nodes, hence at most 3 owners).
+  void binParticles(const Vector3<Real> *OldPos, const Vector3<Real> *NewPos,
+                    bool ChargeConserving, Index N) {
+    for (Tile &T : Tiles)
+      T.Particles.clear();
+    // The node-relative coordinates must be computed exactly as the
+    // scatter kernels compute them (true division, same operand order):
+    // an ulp of drift at a plane boundary would bin a particle away from
+    // a tile its scatter actually writes.
+    for (Index I = 0; I < N; ++I) {
+      Index Lo, Hi;
+      if (ChargeConserving) {
+        esirkepovFootprintX((OldPos[I].X - Origin.X) / Step.X,
+                            (NewPos[I].X - Origin.X) / Step.X, Lo, Hi);
+      } else {
+        const Real MidRel =
+            ((OldPos[I].X + NewPos[I].X) * Real(0.5) - Origin.X) / Step.X;
+        directFootprintX(MidRel, Lo, Hi);
+      }
+      int Owners[4];
+      int NumOwners = 0;
+      for (Index XI = Lo; XI <= Hi; ++XI) {
+        const int T = OwnerOfPlane[std::size_t(
+            ScalarLattice<Real>::wrap(XI, Size.Nx))];
+        bool Seen = false;
+        for (int W = 0; W < NumOwners; ++W)
+          Seen = Seen || Owners[W] == T;
+        if (!Seen)
+          Owners[NumOwners++] = T;
+      }
+      for (int W = 0; W < NumOwners; ++W)
+        Tiles[std::size_t(Owners[W])].Particles.push_back(I);
+    }
+  }
+
+  /// One synchronous backend launch over \p Items tiles, one schedulable
+  /// chunk per tile (GrainHint = 1).
+  template <typename BlockFn>
+  static void launchOverTiles(exec::ExecutionBackend &Backend,
+                              const exec::ExecutionContext &Ctx,
+                              RunStats &Stats, Index Items,
+                              const BlockFn &Block) {
+    const exec::StepKernel Kernel(Block,
+                                  exec::kernelIdentity<BlockFn>());
+    exec::LaunchSpec Spec;
+    Spec.Items = Items;
+    Spec.StepBegin = 0;
+    Spec.StepEnd = 1;
+    Spec.GrainHint = 1;
+    Backend.launch(Spec, Kernel, Ctx, Stats);
+  }
+
+  GridSize Size;
+  Vector3<Real> Origin;
+  Vector3<Real> Step;
+  std::vector<Tile> Tiles;
+  std::vector<int> OwnerOfPlane; ///< x-plane -> owning tile
+};
+
+} // namespace pic
+} // namespace hichi
+
+#endif // HICHI_PIC_TILEDCURRENTACCUMULATOR_H

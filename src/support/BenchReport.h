@@ -52,6 +52,7 @@ struct MeasuredSeries {
 struct BenchRecord {
   std::string Bench;    ///< bench/tool name, e.g. "hichi_push"
   std::string Backend;  ///< exec registry name
+  std::string Stage = "push"; ///< PIC stage measured: "push" | "deposit" | "step"
   std::string Scenario; ///< "analytical" | "precalculated" | custom
   std::string Layout;   ///< "aos" | "soa"
   std::string Precision;///< "float" | "double"
@@ -100,15 +101,17 @@ public:
       const BenchRecord &R = Records[I];
       std::fprintf(
           F,
-          "    {\"bench\": \"%s\", \"backend\": \"%s\", \"scenario\": "
+          "    {\"bench\": \"%s\", \"backend\": \"%s\", \"stage\": \"%s\", "
+          "\"scenario\": "
           "\"%s\", \"layout\": \"%s\", \"precision\": \"%s\", "
           "\"particles\": %lld, \"steps\": %d, \"iterations\": %d, "
           "\"fuse_steps\": %d, \"threads\": %d, \"median_ns\": %.1f, "
           "\"min_ns\": %.1f, \"max_ns\": %.1f, \"nsps\": %.6f}%s\n",
           escaped(R.Bench).c_str(), escaped(R.Backend).c_str(),
-          escaped(R.Scenario).c_str(), escaped(R.Layout).c_str(),
-          escaped(R.Precision).c_str(), R.Particles, R.Steps, R.Iterations,
-          R.FuseSteps, R.Threads, R.MedianNs, R.MinNs, R.MaxNs, R.Nsps,
+          escaped(R.Stage).c_str(), escaped(R.Scenario).c_str(),
+          escaped(R.Layout).c_str(), escaped(R.Precision).c_str(),
+          R.Particles, R.Steps, R.Iterations, R.FuseSteps, R.Threads,
+          R.MedianNs, R.MinNs, R.MaxNs, R.Nsps,
           I + 1 < Records.size() ? "," : "");
     }
     std::fprintf(F, "  ]\n}\n");

@@ -195,6 +195,37 @@ TEST(BackendQueueStateTest, DpcppBackendsRequireAQueue) {
                "require a minisycl::queue");
 }
 
+TEST(BackendConfigTest, CoarseTileLaunchVisitsEveryItemExactlyOnce) {
+  // The deposition launch shape: a handful of coarse read-modify-write
+  // items (current tiles) with GrainHint = 1 so dynamic backends schedule
+  // one chunk per tile. Every backend must still cover each item exactly
+  // once — that is what makes the disjoint-ownership scatter race-free.
+  minisycl::queue Q{minisycl::cpu_device()};
+  for (const std::string &Name : BackendRegistry::instance().names()) {
+    auto Backend = createBackend(Name);
+    ASSERT_NE(Backend, nullptr) << Name;
+    ExecutionContext Ctx;
+    Ctx.Queue = &Q;
+    const Index Tiles = 13;
+    std::vector<std::atomic<int>> Visits(static_cast<std::size_t>(Tiles));
+    auto Body = [&](Index Begin, Index End, int, int) {
+      for (Index T = Begin; T < End; ++T)
+        ++Visits[std::size_t(T)];
+    };
+    StepKernel Kernel(Body, kernelIdentity<decltype(Body)>());
+    RunStats Stats;
+    LaunchSpec Spec;
+    Spec.Items = Tiles;
+    Spec.StepBegin = 0;
+    Spec.StepEnd = 1;
+    Spec.GrainHint = 1;
+    Backend->launch(Spec, Kernel, Ctx, Stats);
+    for (Index T = 0; T < Tiles; ++T)
+      EXPECT_EQ(Visits[std::size_t(T)].load(), 1)
+          << Name << " tile " << T;
+  }
+}
+
 TEST(BackendConfigTest, SerialAndStaticHandleEmptyAndTinyRanges) {
   for (const char *Name : {"serial", "openmp"}) {
     auto Backend = createBackend(Name);

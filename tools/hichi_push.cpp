@@ -158,6 +158,7 @@ int runBenchmark(const Config &Cfg) {
     bench::JsonReport Report("hichi_push");
     bench::BenchRecord R;
     R.Backend = Cfg.Runner;
+    R.Stage = "push"; // the standalone pusher is the PIC loop's stage 1+2
     R.Scenario = Cfg.Analytical ? "analytical" : "precalculated";
     R.Layout = Cfg.SoA ? "soa" : "aos";
     R.Precision = Cfg.SinglePrecision ? "float" : "double";
