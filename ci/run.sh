@@ -18,24 +18,36 @@ export HICHI_BENCH_PARTICLES="${HICHI_BENCH_PARTICLES:-4000}"
 export HICHI_BENCH_STEPS="${HICHI_BENCH_STEPS:-8}"
 export HICHI_BENCH_ITERATIONS="${HICHI_BENCH_ITERATIONS:-2}"
 
-HICHI_BENCH_JSON=results/BENCH_scheduling.json ./build/bench_ablation_scheduling
-
-# PIC deposit-stage scaling smoke: also fails by itself if any
-# configuration's state hash deviates from the serial scatter.
-HICHI_BENCH_JSON=results/BENCH_pic_deposit.json ./build/bench_pic_deposit
+# The smoke benches, as one rerunnable unit: the perf trend gate below
+# re-measures through this function to confirm a flagged regression.
+run_smoke_benches() {
+  # bench_pic_deposit / bench_pic_async also fail by themselves if any
+  # configuration's state hash deviates from the serial reference.
+  HICHI_BENCH_JSON=results/BENCH_scheduling.json \
+    ./build/bench_ablation_scheduling
+  HICHI_BENCH_JSON=results/BENCH_pic_deposit.json ./build/bench_pic_deposit
+  HICHI_BENCH_JSON=results/BENCH_pic_async.json ./build/bench_pic_async
+  for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline; do
+    ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
+      --iterations 2 --json "results/BENCH_push_${RUNNER}.json" \
+      | grep -E "NSPS|state hash"
+  done
+}
 
 ./build/hichi_push --list-runners
-for RUNNER in serial openmp dpcpp dpcpp-numa; do
-  ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
-    --iterations 2 --json "results/BENCH_push_${RUNNER}.json" \
-    | grep -E "NSPS|state hash"
-done
+run_smoke_benches
 
-# All four runners must agree bitwise on the final particle state.
-HASHES="$(for RUNNER in serial openmp dpcpp dpcpp-numa; do
-  ./build/hichi_push --runner "$RUNNER" --particles 5000 --steps 5 \
-    --iterations 1 | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
-done | sort -u | wc -l)"
+# All runners (the event-chained async-pipeline included) must agree
+# bitwise on the final particle state; --chain re-runs the dpcpp backend
+# through the event-chained submission shape.
+HASHES="$({
+  for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline; do
+    ./build/hichi_push --runner "$RUNNER" --particles 5000 --steps 5 \
+      --iterations 1
+  done
+  ./build/hichi_push --runner dpcpp --chain --particles 5000 --steps 5 \
+    --iterations 1
+} | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p' | sort -u | wc -l)"
 if [ "$HASHES" != "1" ]; then
   echo "FAIL: runners disagree on the final particle state" >&2
   exit 1
@@ -43,9 +55,11 @@ fi
 echo "runner equivalence: OK (all state hashes identical)"
 
 # The full PIC loop must agree bitwise across push/deposit backends and
-# tile counts (the tiled-deposition determinism guarantee).
+# tile counts (the tiled-deposition determinism guarantee), including
+# the async-pipeline push path (the double-buffered precalc/push
+# pipeline) with several lane/chunk configurations.
 PIC_HASHES="$(
-  for B in serial openmp dpcpp dpcpp-numa; do
+  for B in serial openmp dpcpp dpcpp-numa async-pipeline; do
     ./build/pic_langmuir --steps 40 --push-backend "$B" \
       --deposit-backend "$B" --deposit-tiles 5 \
       | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
@@ -56,12 +70,15 @@ PIC_HASHES="$(
   ./build/pic_langmuir --steps 40 --deposit-backend openmp \
     --deposit-tiles 11 --deposit-threads 2 \
     | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  ./build/pic_langmuir --steps 40 --push-backend async-pipeline \
+    --threads 4 --pipeline-chunks 3 --deposit-backend dpcpp \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
 )"
 if [ "$(echo "$PIC_HASHES" | sort -u | wc -l)" != "1" ]; then
-  echo "FAIL: PIC state hashes differ across deposit backends/tiles" >&2
+  echo "FAIL: PIC state hashes differ across backends/tiles/pipelines" >&2
   exit 1
 fi
-echo "PIC deposit equivalence: OK (all state hashes identical)"
+echo "PIC equivalence: OK (all state hashes identical, async pipeline included)"
 
 # Docs must not point at files that do not exist: every relative link in
 # README.md and docs/ARCHITECTURE.md is resolved against the repo root.
@@ -95,6 +112,28 @@ for f in files:
     assert doc["schema"] == "hichi-bench-v1" and doc["results"], f
 print(f"JSON artifacts: OK ({len(files)} files)")
 EOF
+fi
+
+# Perf trend gate: the newest artifacts must not regress NSPS by more
+# than 15% per (bench, backend, stage) against the previous recorded run
+# (results/baseline/, refreshed on every green pass). A flagged
+# regression is re-measured once before failing — a transient spike on
+# a shared CI host passes the second measurement, a real regression
+# fails both. Skip with HICHI_TREND_SKIP=1 (e.g. when benchmarking on a
+# loaded host); tune with HICHI_TREND_THRESHOLD.
+if command -v python3 >/dev/null 2>&1 && \
+   [ "${HICHI_TREND_SKIP:-0}" != "1" ]; then
+  TREND="python3 tools/bench_trend.py --results results \
+    --baseline results/baseline --threshold ${HICHI_TREND_THRESHOLD:-0.15}"
+  # --update only takes effect after a passing comparison, so one
+  # invocation both gates and records the new baseline. Two-strikes
+  # confirmation: only a group that regresses in the first measurement
+  # AND the re-measure fails the gate.
+  if ! $TREND --update --regressions-out results/.trend_flagged.json; then
+    echo "bench_trend: regression flagged; re-measuring once to confirm"
+    run_smoke_benches
+    $TREND --update --confirm results/.trend_flagged.json
+  fi
 fi
 
 echo "ci/run.sh: all green"

@@ -48,6 +48,10 @@ int main(int Argc, char **Argv) {
   Args.addOption("deposit-tiles",
                  "current tiles (x-slabs) for the deposit stage (0 = auto)",
                  "0");
+  Args.addOption("pipeline-chunks",
+                 "ensemble chunks of the async precalc/push pipeline "
+                 "(0 = auto; only used by asynchronous push backends)",
+                 "0");
   Args.addOption("steps", "time steps to run (0 = two plasma periods)", "0");
   Args.addFlag("list-runners", "list registered execution backends and exit");
   if (!Args.parse(Argc, Argv)) {
@@ -87,6 +91,8 @@ int main(int Argc, char **Argv) {
   Options.DepositBackend = Args.getString("deposit-backend");
   Options.DepositThreads = int(Args.getInt("deposit-threads").value_or(0));
   Options.DepositTiles = int(Args.getInt("deposit-tiles").value_or(0));
+  Options.PushPipelineChunks =
+      int(Args.getInt("pipeline-chunks").value_or(0));
   if (!exec::BackendRegistry::instance().contains(Options.PushBackend) ||
       !exec::BackendRegistry::instance().contains(Options.DepositBackend)) {
     std::fprintf(stderr, "error: unknown backend (known: %s)\n",
@@ -159,6 +165,14 @@ int main(int Argc, char **Argv) {
               Sim.kineticEnergy(), Sim.fieldEnergy());
   std::printf("push stage ran on '%s': %.2f ms total\n",
               Sim.pushBackend().name(), Sim.pushStats().HostNs / 1e6);
+  if (Sim.usesAsyncPipeline()) {
+    const pic::PicPipelineStats &P = Sim.pipelineStats();
+    std::printf("  double-buffered pipeline: %d chunks x %d lanes, precalc "
+                "%.2f ms + push %.2f ms kernels, overlap %.0f%%\n",
+                Sim.pipelineChunkCount(), Sim.pushBackend().concurrency(),
+                P.PrecalcNs / 1e6, P.PushNs / 1e6,
+                100.0 * P.overlapEfficiency());
+  }
   std::printf("deposit stage ran on '%s' (%d tiles): %.2f ms total\n",
               Sim.depositBackend().name(), Sim.depositTileCount(),
               Sim.depositStats().HostNs / 1e6);

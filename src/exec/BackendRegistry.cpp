@@ -6,6 +6,7 @@
 
 #include "exec/BackendRegistry.h"
 
+#include "exec/AsyncPipeline.h"
 #include "exec/Backends.h"
 
 using namespace hichi::exec;
@@ -29,6 +30,12 @@ BackendRegistry::BackendRegistry() {
                   "miniSYCL kernel, NUMA arenas (paper Sec. 4.3)",
                   [](const BackendConfig &C) {
                     return std::make_unique<DpcppBackend>(C, /*NumaArenas=*/true);
+                  });
+  registerBackend("async-pipeline",
+                  "event-chained launches on pipeline lanes (non-blocking "
+                  "submit; overlaps PIC field precalc with the push)",
+                  [](const BackendConfig &C) {
+                    return std::make_unique<AsyncPipelineBackend>(C);
                   });
 }
 

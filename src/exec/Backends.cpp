@@ -24,7 +24,9 @@ namespace {
 /// exit. Backends used to mutate set_thread_count/set_cpu_places and
 /// leave the changes behind, so a dpcpp run silently inherited a previous
 /// dpcpp-numa configuration of the same queue; every minisycl-backed
-/// launch now goes through this guard.
+/// launch now goes through this guard. (Non-blocking queues snapshot the
+/// configuration at submit, so restoring before the device thread runs
+/// the kernel is safe.)
 class QueueConfigGuard {
 public:
   explicit QueueConfigGuard(minisycl::queue &Q)
@@ -45,18 +47,24 @@ private:
 
 } // namespace
 
-void SerialBackend::launch(const LaunchSpec &Spec, const StepKernel &Kernel,
-                           const ExecutionContext &, RunStats &Stats) {
+ExecEvent SerialBackend::submit(const LaunchSpec &Spec,
+                                const StepKernel &Kernel,
+                                const ExecutionContext &, RunStats &Stats) {
+  waitForDependencies(Spec);
   Stopwatch Watch;
   if (Spec.Items > 0 && Spec.StepEnd > Spec.StepBegin)
     Kernel(0, Spec.Items, Spec.StepBegin, Spec.StepEnd);
   const double Ns = double(Watch.elapsedNanoseconds());
   Stats.HostNs += Ns;
   Stats.ModeledNs += Ns;
+  return ExecEvent();
 }
 
-void StaticPoolBackend::launch(const LaunchSpec &Spec, const StepKernel &Kernel,
-                               const ExecutionContext &, RunStats &Stats) {
+ExecEvent StaticPoolBackend::submit(const LaunchSpec &Spec,
+                                    const StepKernel &Kernel,
+                                    const ExecutionContext &,
+                                    RunStats &Stats) {
+  waitForDependencies(Spec);
   threading::ThreadPool &Pool = threading::ThreadPool::global();
   int Width = Config.Threads > 0 ? std::min(Config.Threads, Pool.maxWidth())
                                  : Pool.maxWidth();
@@ -78,10 +86,12 @@ void StaticPoolBackend::launch(const LaunchSpec &Spec, const StepKernel &Kernel,
   const double Ns = double(Watch.elapsedNanoseconds());
   Stats.HostNs += Ns;
   Stats.ModeledNs += Ns;
+  return ExecEvent();
 }
 
-void DpcppBackend::launch(const LaunchSpec &Spec, const StepKernel &Kernel,
-                          const ExecutionContext &Ctx, RunStats &Stats) {
+ExecEvent DpcppBackend::submit(const LaunchSpec &Spec,
+                               const StepKernel &Kernel,
+                               const ExecutionContext &Ctx, RunStats &Stats) {
   if (!Ctx.Queue)
     fatalError("dpcpp execution backends require a minisycl::queue");
   minisycl::queue &Q = *Ctx.Queue;
@@ -94,8 +104,10 @@ void DpcppBackend::launch(const LaunchSpec &Spec, const StepKernel &Kernel,
 
   const Index N = Spec.Items;
   const int StepBegin = Spec.StepBegin, StepEnd = Spec.StepEnd;
-  if (N <= 0 || StepEnd <= StepBegin)
-    return;
+  if (N <= 0 || StepEnd <= StepBegin) {
+    waitForDependencies(Spec); // even an empty launch orders after its deps
+    return ExecEvent();
+  }
 
   // Work items are chunks of the item range, not single items: the
   // type-erased indirect call happens once per chunk while the scheduler
@@ -130,9 +142,40 @@ void DpcppBackend::launch(const LaunchSpec &Spec, const StepKernel &Kernel,
     H.set_kernel_identity(Body.typeId());
     H.set_modeled_work_items(N * Index(StepEnd - StepBegin));
   };
-  minisycl::event Event = Q.submit(Group);
-  Event.wait_and_throw();
-  Stats.HostNs += double(Event.host_duration_ns());
-  Stats.ModeledNs += double(Event.duration_ns());
-  Stats.Modeled = Stats.Modeled || Event.is_modeled();
+
+  if (!Q.async_submit()) {
+    // Eager queue: classic synchronous semantics.
+    waitForDependencies(Spec);
+    minisycl::event Event = Q.submit(Group);
+    Event.wait_and_throw();
+    Stats.HostNs += double(Event.host_duration_ns());
+    Stats.ModeledNs += double(Event.duration_ns());
+    Stats.Modeled = Stats.Modeled || Event.is_modeled();
+    return ExecEvent();
+  }
+
+  // Non-blocking queue (simulated GPU): enqueue with the exec-level
+  // dependencies bridged through depends_on_host (ExecEvent and
+  // minisycl::event are distinct types; the device thread runs the wait
+  // before the kernel, and the events point at earlier submissions, so
+  // this cannot deadlock), and hand back a deferred event whose
+  // finalizer waits the device thread and publishes the profiling
+  // numbers into Stats.
+  std::vector<ExecEvent> Deps = Spec.DependsOn;
+  minisycl::event Event = Q.submit([&](minisycl::handler &H) {
+    if (!Deps.empty())
+      H.depends_on_host([Deps] {
+        for (const ExecEvent &Dep : Deps)
+          Dep.wait();
+      });
+    Group(H);
+  });
+  RunStats *StatsPtr = &Stats;
+  return ExecEvent::deferred([this, Event, StatsPtr]() {
+    Event.wait_and_throw();
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    StatsPtr->HostNs += double(Event.host_duration_ns());
+    StatsPtr->ModeledNs += double(Event.duration_ns());
+    StatsPtr->Modeled = StatsPtr->Modeled || Event.is_modeled();
+  });
 }

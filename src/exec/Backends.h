@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The four built-in execution backends, matching the rows of the paper's
-/// Table 2 plus a serial reference:
+/// The synchronous built-in execution backends, matching the rows of the
+/// paper's Table 2 plus a serial reference:
 ///
 ///   * serial     — plain loop, single thread (tests, baselines);
 ///   * openmp     — static scheduling on the shared thread pool
@@ -15,6 +15,12 @@
 ///                  chunk scheduling (Section 4.2);
 ///   * dpcpp-numa — the same with NUMA arenas
 ///                  (DPCPP_CPU_PLACES=numa_domains, Section 4.3).
+///
+/// All three classes implement the event-based submit() API by waiting
+/// their dependencies inline and completing the work before returning
+/// (dpcpp on a non-blocking simulated-GPU queue is the exception: it
+/// returns a deferred event, see DpcppBackend). The asynchronous
+/// "async-pipeline" backend lives in AsyncPipeline.h.
 ///
 /// Prefer resolving backends by name through BackendRegistry.h; the
 /// concrete classes are exposed for direct construction in tests.
@@ -26,6 +32,8 @@
 
 #include "exec/ExecutionBackend.h"
 
+#include <mutex>
+
 namespace hichi {
 namespace exec {
 
@@ -34,8 +42,8 @@ namespace exec {
 class SerialBackend final : public ExecutionBackend {
 public:
   const char *name() const override { return "serial"; }
-  void launch(const LaunchSpec &Spec, const StepKernel &Kernel,
-              const ExecutionContext &Ctx, RunStats &Stats) override;
+  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
+                   const ExecutionContext &Ctx, RunStats &Stats) override;
 };
 
 /// OpenMP-style static scheduling: one contiguous block per worker, the
@@ -46,8 +54,8 @@ public:
   explicit StaticPoolBackend(const BackendConfig &Config) : Config(Config) {}
 
   const char *name() const override { return "openmp"; }
-  void launch(const LaunchSpec &Spec, const StepKernel &Kernel,
-              const ExecutionContext &Ctx, RunStats &Stats) override;
+  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
+                   const ExecutionContext &Ctx, RunStats &Stats) override;
 
 private:
   BackendConfig Config;
@@ -57,7 +65,10 @@ private:
 /// work items are dynamically scheduled chunks of the particle range.
 /// The queue's device decides CPU vs simulated GPU; queue configuration
 /// (thread count, cpu_places) is saved and restored around every launch,
-/// so no state leaks between runs sharing a queue.
+/// so no state leaks between runs sharing a queue. On a non-blocking
+/// queue (simulated GPUs by default) submit() returns a *deferred*
+/// ExecEvent wrapping the pending minisycl event — the launch executes
+/// on the queue's device thread while the host goes on submitting.
 class DpcppBackend final : public ExecutionBackend {
 public:
   DpcppBackend(const BackendConfig &Config, bool NumaArenas)
@@ -67,12 +78,19 @@ public:
     return NumaArenas ? "dpcpp-numa" : "dpcpp";
   }
   bool needsQueue() const override { return true; }
-  void launch(const LaunchSpec &Spec, const StepKernel &Kernel,
-              const ExecutionContext &Ctx, RunStats &Stats) override;
+  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
+                   const ExecutionContext &Ctx, RunStats &Stats) override;
 
 private:
   BackendConfig Config;
   bool NumaArenas;
+
+  /// Serializes RunStats accumulation by deferred-event finalizers: with
+  /// event-chained submission on a non-blocking queue, the device thread
+  /// (claiming a dependency's finalizer inside its depends_on_host wait)
+  /// and the host's trailing wait loop can finalize different events of
+  /// the same chain concurrently, and those events share one RunStats.
+  std::mutex StatsMutex;
 };
 
 } // namespace exec

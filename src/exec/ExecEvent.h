@@ -1,0 +1,130 @@
+//===-- exec/ExecEvent.h - Awaitable launch completion handles -*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The completion handle returned by ExecutionBackend::submit — the exec
+/// layer's analogue of a SYCL event, mirroring the submit/event model of
+/// the DPC++ runtime the paper targets. An ExecEvent is a cheap
+/// shared-state value: copy it freely, hand copies to LaunchSpec::
+/// DependsOn, wait() from any thread.
+///
+/// Three flavours exist, all behind the same interface:
+///
+///   * **complete** (the default): synchronous backends return these —
+///     the work finished inside submit(); wait() is a no-op.
+///   * **pending**: created by asynchronous backends with pending() and
+///     finished with signal() from the executing thread.
+///   * **deferred**: adapts an external completion source (a minisycl
+///     event plus its profiling bookkeeping) via a finalizer that the
+///     first wait()er runs exactly once.
+///
+/// wait() on an already-complete event, repeated wait(), and concurrent
+/// wait() from many threads are all safe no-ops — the contract the whole
+/// asynchronous exec layer leans on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_EXEC_EXECEVENT_H
+#define HICHI_EXEC_EXECEVENT_H
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace hichi {
+namespace exec {
+
+/// Awaitable handle for one submitted launch.
+class ExecEvent {
+public:
+  /// An already-complete event (what synchronous backends return, and
+  /// the neutral element of dependency lists).
+  ExecEvent() = default;
+
+  /// \returns a pending event; the executing thread finishes it with
+  /// signal() after the launch's side effects (including RunStats
+  /// accumulation) are published.
+  static ExecEvent pending() {
+    ExecEvent E;
+    E.State = std::make_shared<EventState>();
+    return E;
+  }
+
+  /// \returns a deferred event completed by \p Finalize, which must
+  /// block until the underlying work is done (and may publish profiling
+  /// side effects). The first wait()er runs it exactly once; everyone
+  /// else blocks until it returns.
+  static ExecEvent deferred(std::function<void()> Finalize) {
+    ExecEvent E;
+    E.State = std::make_shared<EventState>();
+    E.State->Finalize = std::move(Finalize);
+    return E;
+  }
+
+  /// Blocks until the launch completes. Safe to call repeatedly and from
+  /// several threads; a no-op once complete.
+  void wait() const {
+    if (!State)
+      return;
+    std::unique_lock<std::mutex> Lock(State->Mutex);
+    if (State->Complete)
+      return;
+    if (State->Finalize && !State->FinalizeClaimed) {
+      State->FinalizeClaimed = true;
+      std::function<void()> Fn = std::move(State->Finalize);
+      Lock.unlock();
+      Fn(); // blocks until the underlying work is done
+      Lock.lock();
+      State->Complete = true;
+      Lock.unlock();
+      State->Cv.notify_all();
+      return;
+    }
+    State->Cv.wait(Lock, [this] { return State->Complete; });
+  }
+
+  /// True once the launch has completed. Deferred events only learn of
+  /// completion through wait(), so poll via the signaling flavours or
+  /// just wait().
+  bool isComplete() const {
+    if (!State)
+      return true;
+    std::lock_guard<std::mutex> Lock(State->Mutex);
+    return State->Complete;
+  }
+
+  /// Marks a pending event complete and wakes every waiter. Backend-side
+  /// only; publish all launch side effects (results, stats) before
+  /// calling. A no-op on complete events.
+  void signal() const {
+    if (!State)
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(State->Mutex);
+      State->Complete = true;
+    }
+    State->Cv.notify_all();
+  }
+
+private:
+  struct EventState {
+    mutable std::mutex Mutex;
+    mutable std::condition_variable Cv;
+    bool Complete = false;
+    bool FinalizeClaimed = false;
+    std::function<void()> Finalize; ///< deferred completion, run once
+  };
+
+  /// Null = complete without allocation (the common synchronous case).
+  std::shared_ptr<EventState> State;
+};
+
+} // namespace exec
+} // namespace hichi
+
+#endif // HICHI_EXEC_EXECEVENT_H

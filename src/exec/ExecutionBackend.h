@@ -25,17 +25,40 @@
 /// set LaunchSpec::GrainHint = 1 so dynamically scheduled backends treat
 /// each item as one schedulable chunk.
 ///
+/// **Submission model.** The primary entry point is the event-based
+/// submit(): it enqueues one launch and returns an ExecEvent — an
+/// awaitable completion handle. Launches chain through
+/// LaunchSpec::DependsOn: a backend must not start a launch before every
+/// listed event has completed. Synchronous backends (serial, openmp,
+/// dpcpp on CPU queues) run the launch inside submit() and return an
+/// already-complete event; asynchronous backends (async-pipeline, dpcpp
+/// on non-blocking simulated-GPU queues) return early and execute later.
+/// The historic blocking launch() survives as a thin
+/// `submit(...).wait()` facade, so call sites that want synchronous
+/// semantics keep their exact shape.
+///
+/// Lifetime contract for asynchronous submission: the kernel's referee
+/// and the RunStats object must outlive the launch — keep them alive
+/// until the returned event (or a dependent one) has been waited on, and
+/// read the stats only after that wait. Dependencies must point to
+/// events of launches submitted *earlier* (on any backend or queue);
+/// forward or cyclic dependencies are user error and may deadlock.
+///
 /// Layering: this header is dependency-light (no minisycl/threading
 /// includes) so that templated drivers anywhere in the tree can accept an
 /// ExecutionBackend&. The concrete backends live in Backends.h/.cpp and
-/// the string-keyed factory in BackendRegistry.h/.cpp.
+/// AsyncPipeline.h/.cpp, and the string-keyed factory in
+/// BackendRegistry.h/.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HICHI_EXEC_EXECUTIONBACKEND_H
 #define HICHI_EXEC_EXECUTIONBACKEND_H
 
+#include "exec/ExecEvent.h"
 #include "support/Config.h"
+
+#include <vector>
 
 namespace minisycl {
 class queue;
@@ -60,7 +83,8 @@ namespace exec {
 /// Per-backend tuning knobs, fixed at construction time (a backend
 /// instance is an immutable strategy + configuration pair).
 struct BackendConfig {
-  /// Worker threads; 0 means every worker the pool / queue has.
+  /// Worker threads; 0 means every worker the pool / queue has (for the
+  /// async-pipeline backend: its lane count, default 2).
   int Threads = 0;
 
   /// Dynamic-scheduling chunk size in particles; 0 picks the same
@@ -93,7 +117,9 @@ template <typename KernelFn> const void *kernelIdentity() {
 ///
 /// which advances particles [Begin, End) through time steps
 /// [StepBegin, StepEnd) in step-major order. The referee must outlive the
-/// launch (launches are synchronous, so stack lambdas are fine).
+/// launch: through the submit() call for synchronous backends, until the
+/// returned event has been waited on for asynchronous ones (stack
+/// lambdas are fine as long as the wait happens in the same scope).
 class StepKernel {
 public:
   template <typename Fn>
@@ -132,6 +158,12 @@ struct LaunchSpec {
   /// ignore the hint (they always hand each worker one contiguous
   /// block).
   Index GrainHint = 0;
+
+  /// Events this launch must not start before. Every backend honours the
+  /// list (synchronous ones wait inline at submit); each listed event
+  /// must belong to a launch submitted earlier, else deadlock. Complete
+  /// events (including default-constructed ones) are free.
+  std::vector<ExecEvent> DependsOn = {};
 };
 
 /// An execution strategy for item loops. Implementations must be
@@ -140,7 +172,7 @@ struct LaunchSpec {
 /// item must be visited exactly once per step and steps must be
 /// ascending per item — that is what keeps all backends bit-identical
 /// (the paper Section 4 equivalence claim, enforced by
-/// tests/core/RunnerEquivalenceTest.cpp).
+/// tests/core/RunnerEquivalenceTest.cpp and tests/exec/ExecEventTest.cpp).
 class ExecutionBackend {
 public:
   virtual ~ExecutionBackend() = default;
@@ -148,13 +180,49 @@ public:
   /// The registry key this backend was created under, e.g. "dpcpp-numa".
   virtual const char *name() const = 0;
 
-  /// True if launch() requires ExecutionContext::Queue.
+  /// True if submit() requires ExecutionContext::Queue.
   virtual bool needsQueue() const { return false; }
 
-  /// Executes \p Kernel over \p Spec, accumulating timing into \p Stats.
-  /// Synchronous: the work is complete on return.
-  virtual void launch(const LaunchSpec &Spec, const StepKernel &Kernel,
-                      const ExecutionContext &Ctx, RunStats &Stats) = 0;
+  /// True if asynchronous submission is this backend's *intrinsic*
+  /// model — submit() returns before the launch executes regardless of
+  /// context (async-pipeline). Drivers use it to pick event-chained
+  /// submission over mega-kernels (StepLoop.h, FusionMode::Auto) and to
+  /// enable the PIC loop's double-buffered precalc/push pipeline
+  /// (pic/PicSimulation.h). Note: dpcpp also returns deferred events
+  /// when the per-launch ExecutionContext carries a non-blocking queue,
+  /// but the backend cannot see the queue at query time, so it reports
+  /// false — callers who want chained submission there opt in explicitly
+  /// via FusionMode::EventChain (hichi_push --chain).
+  virtual bool isAsynchronous() const { return false; }
+
+  /// How many launches this backend can have in flight simultaneously
+  /// (1 for synchronous backends; the lane count for async-pipeline).
+  /// Pipelined callers size their chunking from it.
+  virtual int concurrency() const { return 1; }
+
+  /// Enqueues \p Kernel over \p Spec (after Spec.DependsOn) and returns
+  /// the launch's completion event. Timing accumulates into \p Stats no
+  /// later than the returned event completes; read \p Stats only after
+  /// waiting. See the file comment for the asynchronous lifetime
+  /// contract.
+  virtual ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
+                           const ExecutionContext &Ctx, RunStats &Stats) = 0;
+
+  /// The historic blocking API: executes \p Kernel over \p Spec and
+  /// returns once the work (and its stats accumulation) is complete. A
+  /// thin facade over submit().
+  void launch(const LaunchSpec &Spec, const StepKernel &Kernel,
+              const ExecutionContext &Ctx, RunStats &Stats) {
+    submit(Spec, Kernel, Ctx, Stats).wait();
+  }
+
+protected:
+  /// Helper for synchronous implementations: blocks until every
+  /// dependency of \p Spec has completed.
+  static void waitForDependencies(const LaunchSpec &Spec) {
+    for (const ExecEvent &Dep : Spec.DependsOn)
+      Dep.wait();
+  }
 };
 
 } // namespace exec

@@ -8,14 +8,26 @@
 /// The templated time-integration driver over an ExecutionBackend: builds
 /// the concrete (sample field, push particle) block kernel for a pusher x
 /// layout x field-source combination, slices the step range into fused
-/// groups, and hands each group to the backend as one launch.
+/// groups, and hands each group to the backend.
 ///
-/// Multi-step kernel fusion (FuseSteps = K) submits K time steps per
-/// kernel / parallel region instead of one. Because the standalone pusher
-/// has no particle-particle coupling, each particle's update sequence is
-/// unchanged — results stay bit-identical — while the per-step
-/// submit/join overhead (the DPC++-vs-OpenMP gap the paper measures in
-/// Section 5.3) is amortized over K steps. Fusion is NOT legal for loops
+/// Two submission shapes produce bit-identical results:
+///
+///   * **Mega-kernels** (FusionMode::MegaKernel): one blocking launch per
+///     fused group of FuseSteps steps. Because the standalone pusher has
+///     no particle-particle coupling, each particle's update sequence is
+///     unchanged — while the per-step submit/join overhead (the
+///     DPC++-vs-OpenMP gap the paper measures in Section 5.3) is
+///     amortized over the group.
+///   * **Event chains** (FusionMode::EventChain): every step is its own
+///     non-blocking submit(), chained through LaunchSpec::DependsOn, with
+///     a single wait at the end. On asynchronous backends this amortizes
+///     the same overhead by *overlapping* submission with execution —
+///     the submit/event shape of the DPC++ runtime — instead of by
+///     merging kernels. The chain serializes the steps, so each
+///     particle's update sequence is again unchanged.
+///
+/// FusionMode::Auto picks event chains on asynchronous backends and
+/// mega-kernels otherwise. Fusion of either shape is NOT legal for loops
 /// with cross-particle coupling (e.g. the PIC current deposition); such
 /// callers must launch one step at a time.
 ///
@@ -30,9 +42,17 @@
 #include "support/Constants.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace hichi {
 namespace exec {
+
+/// How runStepLoop turns the step range into backend submissions.
+enum class FusionMode {
+  Auto,       ///< EventChain on asynchronous backends, else MegaKernel
+  MegaKernel, ///< one blocking launch per fused group (classic fusion)
+  EventChain, ///< one chained non-blocking submit per step, wait at end
+};
 
 /// Options of one runStepLoop call (the physics knobs; scheduling knobs
 /// live in the backend's BackendConfig).
@@ -45,12 +65,18 @@ template <typename Real> struct StepLoopOptions {
   Real StartTime = Real(0);
 
   /// Time steps per backend launch (kernel fusion); values < 1 mean 1.
+  /// Ignored by the EventChain shape, which always submits single steps.
   int FuseSteps = 1;
+
+  /// Submission shape (see the file comment).
+  FusionMode Fusion = FusionMode::Auto;
 };
 
 /// Advances every particle of \p Particles by \p NumSteps steps of \p Dt
 /// under \p Fields on \p Backend. \p Ctx supplies the queue for
-/// minisycl-backed backends (ignored otherwise).
+/// minisycl-backed backends (ignored otherwise). Blocking either way:
+/// even the event-chained shape waits its final event before returning,
+/// so the returned RunStats are complete.
 template <typename Pusher = BorisPusher, typename Array, typename FieldSource,
           typename Real>
 RunStats runStepLoop(ExecutionBackend &Backend, const ExecutionContext &Ctx,
@@ -78,7 +104,33 @@ RunStats runStepLoop(ExecutionBackend &Backend, const ExecutionContext &Ctx,
   };
   const StepKernel Kernel(Block, kernelIdentity<decltype(Block)>());
 
+  const bool Chain =
+      Opts.Fusion == FusionMode::EventChain ||
+      (Opts.Fusion == FusionMode::Auto && Backend.isAsynchronous());
+
   RunStats Stats;
+  if (Chain) {
+    // Every step is one submission depending on its predecessor. All
+    // events are waited in submission order at the end: the chain makes
+    // later waits no-ops, but each wait also finalizes that launch's
+    // stats accumulation (deferred events publish their profiling
+    // numbers in the first wait).
+    std::vector<ExecEvent> Events;
+    Events.reserve(std::size_t(NumSteps));
+    for (int Step = 0; Step < NumSteps; ++Step) {
+      LaunchSpec Spec;
+      Spec.Items = N;
+      Spec.StepBegin = Step;
+      Spec.StepEnd = Step + 1;
+      if (!Events.empty())
+        Spec.DependsOn.push_back(Events.back());
+      Events.push_back(Backend.submit(Spec, Kernel, Ctx, Stats));
+    }
+    for (const ExecEvent &Ev : Events)
+      Ev.wait();
+    return Stats;
+  }
+
   const int Fuse = std::max(1, Opts.FuseSteps);
   for (int Step = 0; Step < NumSteps; Step += Fuse) {
     LaunchSpec Spec;

@@ -5,10 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Completion events returned by queue::submit. The runtime executes
-/// command groups eagerly (a conforming implementation of an in-order
-/// queue), so wait() is trivially satisfied; the event's value is its
-/// profiling data:
+/// Completion events returned by queue::submit. Events carry a real
+/// completion state: CPU queues still execute command groups eagerly (the
+/// returned event is born complete), but simulated-GPU queues submit
+/// non-blockingly to an in-order device thread (the DPC++ submit/event
+/// model of paper Section 4.2), so an event may be pending until the
+/// device thread executes its command group.
+///
+/// wait() blocks until completion and is a safe no-op on an already
+/// completed event — waiting twice, waiting from several threads, and
+/// waiting on a default-constructed event are all well-defined. The
+/// profiling getters wait internally (SYCL requires command completion
+/// before profiling info is available):
 ///
 ///   * on CPU devices, the measured wall time of the kernel;
 ///   * on simulated GPU devices, the time charged by the gpusim model
@@ -19,8 +27,10 @@
 #ifndef HICHI_MINISYCL_EVENT_H
 #define HICHI_MINISYCL_EVENT_H
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 namespace minisycl {
 
@@ -31,27 +41,50 @@ class event {
 public:
   event() : State(std::make_shared<EventState>()) {}
 
-  /// Blocks until the command completes. Eager execution makes this a
-  /// no-op, but call sites keep the SYCL shape
-  /// (`device.submit(kernel).wait_and_throw()`, paper Section 4.2).
-  void wait() {}
+  /// Blocks until the command completes. Safe to call repeatedly and
+  /// concurrently; a no-op once the event is complete (a
+  /// default-constructed event is born complete).
+  void wait() const {
+    std::unique_lock<std::mutex> Lock(State->Mutex);
+    State->Cv.wait(Lock, [this] { return State->Complete; });
+  }
 
   /// SYCL's wait_and_throw: with exceptions disabled in this project,
   /// asynchronous errors abort at their origin, so this equals wait().
-  void wait_and_throw() {}
+  void wait_and_throw() const { wait(); }
+
+  /// True once the command group has finished executing (immediately for
+  /// eagerly executed submissions).
+  bool is_complete() const {
+    std::lock_guard<std::mutex> Lock(State->Mutex);
+    return State->Complete;
+  }
 
   /// Kernel duration [ns]: modeled for simulated GPUs, measured for CPUs.
-  std::int64_t duration_ns() const { return State->DurationNs; }
+  /// Waits for completion first (profiling info requires it).
+  std::int64_t duration_ns() const {
+    wait();
+    return State->DurationNs;
+  }
 
   /// Host wall time [ns] the command actually took in this process.
-  std::int64_t host_duration_ns() const { return State->HostNs; }
+  std::int64_t host_duration_ns() const {
+    wait();
+    return State->HostNs;
+  }
 
   /// True if duration_ns() came from the gpusim model.
-  bool is_modeled() const { return State->Modeled; }
+  bool is_modeled() const {
+    wait();
+    return State->Modeled;
+  }
 
   /// True if this launch included (modeled) JIT compilation — the paper's
   /// first-iteration effect (Section 5.3).
-  bool included_jit() const { return State->IncludedJit; }
+  bool included_jit() const {
+    wait();
+    return State->IncludedJit;
+  }
 
 private:
   struct EventState {
@@ -59,7 +92,29 @@ private:
     std::int64_t HostNs = 0;
     bool Modeled = false;
     bool IncludedJit = false;
+
+    /// Completion machinery. Events start complete (the eager path fills
+    /// profiling data before handing the event out); the queue marks
+    /// asynchronously submitted events pending at enqueue and completes
+    /// them from the device thread.
+    mutable std::mutex Mutex;
+    mutable std::condition_variable Cv;
+    bool Complete = true;
   };
+
+  /// Queue-side: flips a fresh event to pending (before the event escapes
+  /// to any other thread).
+  void markPending() { State->Complete = false; }
+
+  /// Queue-side: publishes completion and wakes every waiter. The
+  /// profiling fields must be written before this call.
+  void markComplete() const {
+    {
+      std::lock_guard<std::mutex> Lock(State->Mutex);
+      State->Complete = true;
+    }
+    State->Cv.notify_all();
+  }
 
   std::shared_ptr<EventState> State;
 

@@ -28,6 +28,7 @@
 #define HICHI_MINISYCL_HANDLER_H
 
 #include "gpusim/GpuDeviceModel.h"
+#include "minisycl/event.h"
 #include "minisycl/range.h"
 #include "support/Config.h"
 #include "support/CpuTopology.h"
@@ -210,6 +211,32 @@ public:
   /// for launches whose index space is chunks rather than logical items.
   void set_modeled_work_items(hichi::Index Items) { ModeledWorkItems = Items; }
 
+  /// SYCL 2020 handler::depends_on: this command group must not begin
+  /// executing before \p Dependency completes. On eagerly executing
+  /// queues the dependency is waited at submit; on non-blocking queues
+  /// (simulated GPUs) the device thread waits it before running the
+  /// command group. Dependencies must not form cycles — an event can only
+  /// depend on already-submitted work.
+  void depends_on(const event &Dependency) { Depends.push_back(Dependency); }
+
+  /// Like depends_on, but for completion sources that are not minisycl
+  /// events (the exec layer's ExecEvents): \p Wait is run on the
+  /// executing thread, before the kernel, and must block until the
+  /// foreign dependency completes. Calls compose. (A simulation seam —
+  /// DPC++ bridges foreign events through host tasks instead.)
+  void depends_on_host(std::function<void()> Wait) {
+    if (!HostDependency) {
+      HostDependency = std::move(Wait);
+      return;
+    }
+    auto First = std::move(HostDependency);
+    auto Second = std::move(Wait);
+    HostDependency = [First, Second] {
+      First();
+      Second();
+    };
+  }
+
 private:
   /// Stable identity per kernel *type* without RTTI: the address of a
   /// function-template-static is unique per instantiation. Used to model
@@ -244,6 +271,8 @@ private:
   }
 
   std::function<void(const launch_config &)> Launcher;
+  std::vector<event> Depends;
+  std::function<void()> HostDependency;
   hichi::Index WorkItems = 0;
   hichi::Index ModeledWorkItems = 0; // 0 = use WorkItems
   const void *KernelTypeId = nullptr;

@@ -24,10 +24,18 @@ queue::queue(const device &Dev) : Dev(Dev) {
     // Simulated GPU kernels still execute on host threads (full width) so
     // large correctness runs are not serialized.
     Width = Pool->maxWidth();
+    // Real SYCL devices accept submissions without blocking the host —
+    // that is the overlap the paper's submit/event model exists for — so
+    // simulated devices default to the non-blocking path.
+    AsyncMode = true;
   }
   if (auto Threads = hichi::getEnvInt("MINISYCL_NUM_THREADS"))
     set_thread_count(int(*Threads));
+  if (auto Async = hichi::getEnvInt("MINISYCL_ASYNC_SUBMIT"))
+    AsyncMode = *Async != 0;
 }
+
+queue::~queue() = default; // the device queue drains + joins itself
 
 void queue::set_thread_count(int Threads) {
   if (Threads < 1)
@@ -37,30 +45,74 @@ void queue::set_thread_count(int Threads) {
   Width = Threads;
 }
 
-event queue::execute(handler &Handler) {
-  event Event;
-  if (!Handler.Launcher)
-    return Event; // empty command group: legal, nothing to do
+void queue::set_async_submit(bool Async) {
+  if (!Async)
+    drain(); // eager submissions must observe all prior async work
+  AsyncMode = Async;
+}
 
-  launch_config Config;
-  Config.Pool = Pool;
-  Config.Topology = Topology;
-  Config.Width = Width;
-  Config.Places = Places;
+void queue::wait() { drain(); }
+
+void queue::reset_jit_cache() {
+  std::lock_guard<std::mutex> Lock(JitMutex);
+  JittedKernels.clear();
+}
+
+event queue::enqueue(handler &&Handler) {
+  Command Cmd;
+  Cmd.Handler = std::move(Handler);
+  // Snapshot the scheduling configuration now: reconfiguring the queue
+  // after a non-blocking submit must not change already-submitted work.
+  Cmd.Config.Pool = Pool;
+  Cmd.Config.Topology = Topology;
+  Cmd.Config.Width = Width;
+  Cmd.Config.Places = Places;
+
+  if (!AsyncMode) {
+    execute(Cmd);
+    return Cmd.Event;
+  }
+
+  Cmd.Event.markPending(); // before the event escapes this thread
+  event Out = Cmd.Event;
+  DeviceQueue.push(std::move(Cmd));
+  return Out;
+}
+
+void queue::drain() { DeviceQueue.drain(); }
+
+void queue::execute(Command &Cmd) {
+  handler &Handler = Cmd.Handler;
+
+  // In-order queues still honour explicit cross-queue dependencies; an
+  // event from this queue is already complete (eager) or strictly older
+  // in the FIFO (non-blocking), so waiting here cannot deadlock.
+  for (const event &Dep : Handler.Depends)
+    Dep.wait();
+  if (Handler.HostDependency)
+    Handler.HostDependency();
+
+  if (!Handler.Launcher) {
+    Cmd.Event.markComplete(); // empty command group: legal, nothing to do
+    return;
+  }
 
   hichi::Stopwatch Watch;
-  Handler.Launcher(Config);
+  Handler.Launcher(Cmd.Config);
   std::int64_t HostNs = Watch.elapsedNanoseconds();
 
   const void *KernelId =
       Handler.KernelIdentity ? Handler.KernelIdentity : Handler.KernelTypeId;
   bool FirstLaunch = false;
-  if (KernelId)
+  if (KernelId) {
+    std::lock_guard<std::mutex> Lock(JitMutex);
     FirstLaunch = JittedKernels.insert(KernelId).second;
+  }
   const hichi::Index ModeledItems = Handler.ModeledWorkItems > 0
                                         ? Handler.ModeledWorkItems
                                         : Handler.WorkItems;
 
+  event &Event = Cmd.Event;
   Event.State->HostNs = HostNs;
   if (const hichi::gpusim::GpuParameters *Gpu = Dev.gpu_model()) {
     // Simulated GPU: charge modeled time when the submitter provided a
@@ -79,5 +131,5 @@ event queue::execute(handler &Handler) {
     Event.State->DurationNs = HostNs;
     Event.State->IncludedJit = FirstLaunch;
   }
-  return Event;
+  Event.markComplete();
 }

@@ -20,6 +20,16 @@
 /// docs/ARCHITECTURE.md for the full stage-to-backend map. This is the
 /// substrate the standalone pusher benchmarks carve their kernel out of.
 ///
+/// On an asynchronous push backend ("async-pipeline"), stage 1 runs as a
+/// **double-buffered precalc/push pipeline**: the field interpolation is
+/// split out of the fused interpolate+push kernel into a precalc kernel
+/// that fills a per-chunk FieldSample buffer, and chunk k's push (reading
+/// buffer k%2) overlaps chunk k+1's precalc (filling the other buffer) —
+/// event-chained so the per-particle operation sequence, and therefore
+/// the state hash, is bit-identical to the fused serial stage. See the
+/// "Asynchronous execution" section of docs/ARCHITECTURE.md for the
+/// dataflow diagram.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HICHI_PIC_PICSIMULATION_H
@@ -36,9 +46,11 @@
 #include "pic/YeeGrid.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace hichi {
@@ -61,11 +73,19 @@ template <typename Real> struct PicOptions {
 
   /// Execution backend (exec registry name) for the interpolate+push
   /// stage. Particles are independent during the push, so any registered
-  /// backend gives bit-identical results.
+  /// backend gives bit-identical results. Asynchronous backends
+  /// ("async-pipeline") run the stage as the double-buffered
+  /// precalc/push pipeline.
   std::string PushBackend = "serial";
 
-  /// Worker threads for the push stage; 0 means all.
+  /// Worker threads for the push stage; 0 means all (for
+  /// "async-pipeline": the lane count, default 2).
   int PushThreads = 0;
+
+  /// Chunks the double-buffered pipeline slices the ensemble into when
+  /// the push backend is asynchronous; 0 = auto (two per pipeline lane).
+  /// Ignored by synchronous push backends.
+  int PushPipelineChunks = 0;
 
   /// Execution backend for the current-deposition stage. The scatter
   /// couples particles through the grid, so it runs as per-tile
@@ -80,6 +100,29 @@ template <typename Real> struct PicOptions {
   /// Current tiles (x-slabs) for the deposit stage; 0 = auto (1 for the
   /// serial backend, else two tiles per worker, capped at the grid's Nx).
   int DepositTiles = 0;
+};
+
+/// Accumulated timing of the double-buffered precalc/push pipeline (only
+/// populated when the push backend is asynchronous). PrecalcNs and
+/// PushNs are per-kernel busy times summed over chunks and steps; WallNs
+/// is the wall time of the whole pipelined stage. Their gap is the
+/// overlap the pipeline achieved.
+struct PicPipelineStats {
+  double WallNs = 0;    ///< wall time of the pipelined stage 1
+  double PrecalcNs = 0; ///< field-precalc kernel busy time (all chunks)
+  double PushNs = 0;    ///< push kernel busy time (all chunks)
+
+  /// Fraction of the smaller stage that the pipeline hid behind the
+  /// larger one: 1 = perfect overlap (wall == max of the two stages),
+  /// 0 = fully serialized (wall >= their sum). Can exceed 1 slightly
+  /// when per-kernel timers under-count scheduling gaps.
+  double overlapEfficiency() const {
+    const double Hidden = PrecalcNs + PushNs - WallNs;
+    const double MaxHidden = PrecalcNs < PushNs ? PrecalcNs : PushNs;
+    if (MaxHidden <= 0)
+      return 0;
+    return Hidden > 0 ? Hidden / MaxHidden : 0;
+  }
 };
 
 /// A complete electromagnetic PIC simulation over one periodic box.
@@ -150,22 +193,29 @@ public:
     OldPositions.resize(std::size_t(N));
     Vector3<Real> *OldPos = OldPositions.data();
     const Real Time = CurrentTime;
-    auto Block = [=](Index Begin, Index End, int, int) {
-      for (Index I = Begin; I < End; ++I) {
-        auto P = View[I];
-        const Vector3<Real> Pos = P.position();
-        OldPos[I] = Pos;
-        const FieldSample<Real> F = Interp(Pos, Time, I);
-        BorisPusher::push<Real>(P, F, TypesPtr, Dt, C);
-      }
-    };
-    const exec::StepKernel Kernel(Block,
-                                  exec::kernelIdentity<decltype(Block)>());
     exec::ExecutionContext Ctx;
     Ctx.Queue = Queue.get();
-    // One step per launch: the deposition below couples particles, so
-    // multi-step fusion is not legal for the PIC loop.
-    Backend->launch({N, Steps, Steps + 1}, Kernel, Ctx, PushTiming);
+    if (Backend->isAsynchronous() && N > 0) {
+      // Asynchronous backend: the double-buffered precalc/push pipeline
+      // (same per-particle operation sequence, hence the same bits).
+      pipelinedInterpPush(View, Interp, OldPos, TypesPtr, Dt, C, N, Time,
+                          Ctx);
+    } else {
+      auto Block = [=](Index Begin, Index End, int, int) {
+        for (Index I = Begin; I < End; ++I) {
+          auto P = View[I];
+          const Vector3<Real> Pos = P.position();
+          OldPos[I] = Pos;
+          const FieldSample<Real> F = Interp(Pos, Time, I);
+          BorisPusher::push<Real>(P, F, TypesPtr, Dt, C);
+        }
+      };
+      const exec::StepKernel Kernel(Block,
+                                    exec::kernelIdentity<decltype(Block)>());
+      // One step per launch: the deposition below couples particles, so
+      // multi-step fusion is not legal for the PIC loop.
+      Backend->launch({N, Steps, Steps + 1}, Kernel, Ctx, PushTiming);
+    }
 
     // Stage 2 — wrap positions back into the box, keeping the unwrapped
     // endpoints aside: the deposition needs the physical displacement.
@@ -255,7 +305,157 @@ public:
   /// reduce) across all steps so far.
   const RunStats &depositStats() const { return DepositTiming; }
 
+  /// True if stage 1 runs as the double-buffered precalc/push pipeline
+  /// (the push backend is asynchronous).
+  bool usesAsyncPipeline() const { return Backend->isAsynchronous(); }
+
+  /// Accumulated pipeline timing (all zeros unless usesAsyncPipeline()).
+  const PicPipelineStats &pipelineStats() const { return PipelineTiming; }
+
+  /// Chunks the pipeline actually executes per step. Ceil-division
+  /// chunk sizing can cover N with fewer chunks than requested (e.g.
+  /// 10 particles in 7 requested chunks -> 5 chunks of 2), so this
+  /// reports the executed count, matching the submissions made.
+  int pipelineChunkCount() const {
+    const Index N = Particles.view().size();
+    if (N <= 0)
+      return 0;
+    const Index ChunkSize = pipelineChunkSize(N);
+    return int((N + ChunkSize - 1) / ChunkSize);
+  }
+
 private:
+  using ViewT = decltype(std::declval<Array &>().view());
+
+  /// The precalc half of the pipelined stage 1: samples the grid fields
+  /// at every particle of one chunk into a double buffer, stashing the
+  /// unwrapped old position — exactly the reads the fused kernel does,
+  /// in the same per-particle order.
+  struct PipelinePrecalcBody {
+    ViewT View;
+    YeeInterpolator<Real> Interp;
+    Vector3<Real> *OldPos;
+    FieldSample<Real> *Samples;
+    Index Offset;
+    Real Time;
+
+    void operator()(Index Begin, Index End, int, int) const {
+      for (Index I = Begin; I < End; ++I) {
+        auto P = View[Offset + I];
+        const Vector3<Real> Pos = P.position();
+        OldPos[Offset + I] = Pos;
+        Samples[I] = Interp(Pos, Time, Offset + I);
+      }
+    }
+  };
+
+  /// The push half: consumes the chunk's sample buffer. The value
+  /// round-trip through the buffer is bitwise exact, so the Boris update
+  /// equals the fused kernel's.
+  struct PipelinePushBody {
+    ViewT View;
+    const FieldSample<Real> *Samples;
+    const ParticleTypeInfo<Real> *Types;
+    Index Offset;
+    Real Dt, C;
+
+    void operator()(Index Begin, Index End, int, int) const {
+      for (Index I = Begin; I < End; ++I) {
+        auto P = View[Offset + I];
+        BorisPusher::push<Real>(P, Samples[I], Types, Dt, C);
+      }
+    }
+  };
+
+  /// Stage 1 as a double-buffered pipeline of non-blocking submissions:
+  /// precalc(k) fills buffer k%2 (waiting push(k-2), which frees it),
+  /// push(k) depends on precalc(k); on two lanes precalc(k+1) therefore
+  /// overlaps push(k). Every dependency points at an earlier submission,
+  /// so the pipeline cannot deadlock; the trailing waits also retire the
+  /// per-stage stats before anyone reads them.
+  void pipelinedInterpPush(const ViewT &View,
+                           const YeeInterpolator<Real> &Interp,
+                           Vector3<Real> *OldPos,
+                           const ParticleTypeInfo<Real> *TypesPtr, Real Dt,
+                           Real C, Index N, Real Time,
+                           const exec::ExecutionContext &Ctx) {
+    const Index ChunkSize = pipelineChunkSize(N);
+    const int Chunks = int((N + ChunkSize - 1) / ChunkSize);
+    PipelineSamples[0].resize(std::size_t(ChunkSize));
+    PipelineSamples[1].resize(std::size_t(ChunkSize));
+
+    // Kernel bodies live here (reserved, so addresses are stable) until
+    // every event below is waited — the asynchronous lifetime contract.
+    std::vector<PipelinePrecalcBody> PrecalcBodies;
+    std::vector<PipelinePushBody> PushBodies;
+    std::vector<exec::ExecEvent> PrecalcEvents, PushEvents;
+    PrecalcBodies.reserve(std::size_t(Chunks));
+    PushBodies.reserve(std::size_t(Chunks));
+    PrecalcEvents.reserve(std::size_t(Chunks));
+    PushEvents.reserve(std::size_t(Chunks));
+
+    Stopwatch Wall;
+    for (int K = 0; K < Chunks; ++K) {
+      const Index Begin = Index(K) * ChunkSize;
+      const Index End = std::min(Begin + ChunkSize, N);
+      if (Begin >= End)
+        break;
+      FieldSample<Real> *Buf = PipelineSamples[K % 2].data();
+
+      PrecalcBodies.push_back(
+          PipelinePrecalcBody{View, Interp, OldPos, Buf, Begin, Time});
+      exec::LaunchSpec PrecalcSpec;
+      PrecalcSpec.Items = End - Begin;
+      PrecalcSpec.StepBegin = Steps;
+      PrecalcSpec.StepEnd = Steps + 1;
+      if (K >= 2) // buffer K%2 is free once push(K-2) has consumed it
+        PrecalcSpec.DependsOn.push_back(PushEvents[std::size_t(K - 2)]);
+      PrecalcEvents.push_back(Backend->submit(
+          PrecalcSpec,
+          exec::StepKernel(PrecalcBodies.back(),
+                           exec::kernelIdentity<PipelinePrecalcBody>()),
+          Ctx, PrecalcKernelTiming));
+
+      PushBodies.push_back(
+          PipelinePushBody{View, Buf, TypesPtr, Begin, Dt, C});
+      exec::LaunchSpec PushSpec;
+      PushSpec.Items = End - Begin;
+      PushSpec.StepBegin = Steps;
+      PushSpec.StepEnd = Steps + 1;
+      PushSpec.DependsOn.push_back(PrecalcEvents.back());
+      PushEvents.push_back(Backend->submit(
+          PushSpec,
+          exec::StepKernel(PushBodies.back(),
+                           exec::kernelIdentity<PipelinePushBody>()),
+          Ctx, PushKernelTiming));
+    }
+    for (const exec::ExecEvent &Ev : PrecalcEvents)
+      Ev.wait();
+    for (const exec::ExecEvent &Ev : PushEvents)
+      Ev.wait();
+
+    const double WallNs = double(Wall.elapsedNanoseconds());
+    PushTiming.HostNs += WallNs; // stage-1 stats stay wall-clock true
+    PushTiming.ModeledNs += WallNs;
+    PipelineTiming.WallNs += WallNs;
+    PipelineTiming.PrecalcNs = PrecalcKernelTiming.HostNs;
+    PipelineTiming.PushNs = PushKernelTiming.HostNs;
+  }
+  /// The pipeline chunk size for an ensemble of \p N: ceil(N / R) where
+  /// R is the requested chunk count — the explicit option, or two
+  /// chunks per lane (enough to keep every lane busy while the double
+  /// buffer recycles), clamped to the ensemble size. The executed chunk
+  /// count is ceil(N / chunk size), which can be less than R.
+  Index pipelineChunkSize(Index N) const {
+    int Requested = Options.PushPipelineChunks > 0
+                        ? Options.PushPipelineChunks
+                        : 2 * std::max(1, Backend->concurrency());
+    if (Index(Requested) > N && N > 0)
+      Requested = int(N);
+    Requested = std::max(1, Requested);
+    return (N + Requested - 1) / Requested;
+  }
+
   /// The deposit tile count: the explicit option, or 1 for the serial
   /// backend (the classic scatter, no private slabs), else two tiles per
   /// worker so dynamic backends can balance uneven particle densities.
@@ -283,8 +483,12 @@ private:
   std::unique_ptr<minisycl::queue> Queue;
   std::vector<Vector3<Real>> OldPositions;
   std::vector<Vector3<Real>> NewPositions;
+  std::vector<FieldSample<Real>> PipelineSamples[2]; ///< the double buffer
   RunStats PushTiming;
   RunStats DepositTiming;
+  RunStats PrecalcKernelTiming; ///< pipeline precalc kernels only
+  RunStats PushKernelTiming;    ///< pipeline push kernels only
+  PicPipelineStats PipelineTiming;
   Real CurrentTime = Real(0);
   int Steps = 0;
 };

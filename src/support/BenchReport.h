@@ -61,6 +61,10 @@ struct BenchRecord {
   int Iterations = 0;
   int FuseSteps = 1;
   int Threads = 0; ///< 0 = all
+  /// Submission shape the measured stage used: "mega-kernel" (blocking
+  /// fused launches) or "event-chain" (non-blocking chained submits).
+  /// Part of the configuration identity for trend comparison.
+  std::string Submit = "mega-kernel";
   double MedianNs = 0, MinNs = 0, MaxNs = 0;
   double Nsps = 0;
 
@@ -105,12 +109,14 @@ public:
           "\"scenario\": "
           "\"%s\", \"layout\": \"%s\", \"precision\": \"%s\", "
           "\"particles\": %lld, \"steps\": %d, \"iterations\": %d, "
-          "\"fuse_steps\": %d, \"threads\": %d, \"median_ns\": %.1f, "
+          "\"fuse_steps\": %d, \"threads\": %d, \"submit\": \"%s\", "
+          "\"median_ns\": %.1f, "
           "\"min_ns\": %.1f, \"max_ns\": %.1f, \"nsps\": %.6f}%s\n",
           escaped(R.Bench).c_str(), escaped(R.Backend).c_str(),
           escaped(R.Stage).c_str(), escaped(R.Scenario).c_str(),
           escaped(R.Layout).c_str(), escaped(R.Precision).c_str(),
           R.Particles, R.Steps, R.Iterations, R.FuseSteps, R.Threads,
+          escaped(R.Submit).c_str(),
           R.MedianNs, R.MinNs, R.MaxNs, R.Nsps,
           I + 1 < Records.size() ? "," : "");
     }

@@ -56,11 +56,31 @@ ThreadPool::~ThreadPool() {
       Slot.Thread.join();
 }
 
+/// True while the current thread is executing inside a pool region (as
+/// caller-worker 0 or as a parked worker). Used to detect nested run()
+/// calls, which must degrade to inline execution instead of deadlocking.
+static thread_local bool InsidePoolRegion = false;
+
 void ThreadPool::run(int Width, const std::function<void(int)> &Body) {
   if (Width < 1)
     Width = 1;
   if (Width > maxWidth())
     Width = maxWidth();
+
+  // Nested call from THIS thread while it is inside an active region (a
+  // kernel body that itself opens a parallel loop): run every logical
+  // worker inline. Serial, but correct — each worker index is visited
+  // exactly once, which is all static partitioning and chunk stealing
+  // need. Note the flag is thread-local: a *different* thread (the
+  // minisycl device thread, an async-pipeline lane) takes the
+  // serialize-and-wait path below instead, so a region body must never
+  // block on work that needs another thread's run() to finish —
+  // that is a deadlock, not a supported pattern.
+  if (InsidePoolRegion) {
+    for (int W = 0; W < Width; ++W)
+      Body(W);
+    return;
+  }
 
   if (Width == 1) {
     Body(0);
@@ -69,7 +89,10 @@ void ThreadPool::run(int Width, const std::function<void(int)> &Body) {
 
   {
     std::unique_lock<std::mutex> Lock(Mutex);
-    assert(!InRegion && "ThreadPool::run is not reentrant");
+    // Concurrent callers (the minisycl device thread, async-pipeline
+    // lanes, the main thread) serialize: wait for the active region to
+    // retire before opening the next one.
+    DoneCv.wait(Lock, [this] { return !InRegion; });
     InRegion = true;
     ActiveBody = &Body;
     ActiveWidth = Width;
@@ -78,7 +101,9 @@ void ThreadPool::run(int Width, const std::function<void(int)> &Body) {
   }
   WakeCv.notify_all();
 
+  InsidePoolRegion = true;
   Body(0); // the caller is worker 0
+  InsidePoolRegion = false;
 
   {
     std::unique_lock<std::mutex> Lock(Mutex);
@@ -86,6 +111,7 @@ void ThreadPool::run(int Width, const std::function<void(int)> &Body) {
     ActiveBody = nullptr;
     InRegion = false;
   }
+  DoneCv.notify_all(); // admit the next queued concurrent caller
 }
 
 void ThreadPool::workerLoop(int WorkerIndex, bool BindToCores) {
@@ -108,7 +134,9 @@ void ThreadPool::workerLoop(int WorkerIndex, bool BindToCores) {
       Body = ActiveBody;
     }
 
+    InsidePoolRegion = true;
     (*Body)(WorkerIndex);
+    InsidePoolRegion = false;
 
     {
       std::lock_guard<std::mutex> Lock(Mutex);

@@ -56,8 +56,10 @@ public:
 
   /// Runs \p Body(WorkerIndex) on workers 0..Width-1 and blocks until all
   /// return. Worker 0 is the calling thread. Width is clamped to
-  /// [1, maxWidth()]. Reentrant calls from inside a region are not
-  /// supported (asserted).
+  /// [1, maxWidth()]. Concurrent calls from different threads serialize
+  /// (regions run one at a time, FIFO-ish); a nested call from inside an
+  /// active region degrades to inline serial execution of every worker
+  /// index — both are correct, just not parallel.
   void run(int Width, const std::function<void(int)> &Body);
 
   /// \returns a process-wide default pool sized for the detected topology

@@ -1,0 +1,122 @@
+//===-- threading/WorkQueue.h - In-order background work queue -*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO work queue drained by dedicated background threads — the
+/// shared engine behind every non-blocking submission path: the
+/// minisycl queue's device thread (one worker, in-order command groups)
+/// and the async-pipeline backend's lanes (several workers, launches
+/// popped in submission order).
+///
+/// Guarantees:
+///   * tasks are *popped* in push order (with one worker this is full
+///     in-order execution; with several, execution overlaps but the
+///     earliest unfinished task is always already claimed);
+///   * drain() blocks until every pushed task has finished;
+///   * the destructor drains, then joins — no task is dropped.
+///
+/// Worker threads are created lazily on the first push, so constructing
+/// one of these inside rarely-async objects (every minisycl queue) is
+/// free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_THREADING_WORKQUEUE_H
+#define HICHI_THREADING_WORKQUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hichi {
+namespace threading {
+
+/// FIFO queue of \p Task objects executed by \p Workers background
+/// threads through a fixed run function.
+template <typename Task> class InOrderWorkQueue {
+public:
+  /// \p Run executes one task (on a worker thread); \p Workers is the
+  /// number of background threads (>= 1), created lazily at first push.
+  InOrderWorkQueue(std::function<void(Task &)> Run, int Workers = 1)
+      : Run(std::move(Run)), Workers(Workers < 1 ? 1 : Workers) {}
+
+  ~InOrderWorkQueue() {
+    drain();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ShuttingDown = true;
+    }
+    WorkCv.notify_all();
+    for (std::thread &T : Threads)
+      if (T.joinable())
+        T.join();
+  }
+
+  InOrderWorkQueue(const InOrderWorkQueue &) = delete;
+  InOrderWorkQueue &operator=(const InOrderWorkQueue &) = delete;
+
+  int workerCount() const { return Workers; }
+
+  /// Enqueues \p T; returns immediately.
+  void push(Task T) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      while (int(Threads.size()) < Workers)
+        Threads.emplace_back([this] { workerLoop(); });
+      Pending.push_back(std::move(T));
+    }
+    WorkCv.notify_one();
+  }
+
+  /// Blocks until every task pushed so far has finished executing.
+  void drain() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    IdleCv.wait(Lock, [this] { return Pending.empty() && Running == 0; });
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkCv.wait(Lock, [this] { return ShuttingDown || !Pending.empty(); });
+      if (Pending.empty())
+        return; // shutting down with nothing left to run
+      Task T = std::move(Pending.front());
+      Pending.pop_front();
+      ++Running;
+      Lock.unlock();
+
+      Run(T);
+
+      Lock.lock();
+      --Running;
+      const bool Idle = Pending.empty() && Running == 0;
+      Lock.unlock();
+      if (Idle)
+        IdleCv.notify_all();
+    }
+  }
+
+  std::function<void(Task &)> Run;
+  int Workers;
+  std::vector<std::thread> Threads;
+
+  std::mutex Mutex;
+  std::condition_variable WorkCv; ///< wakes workers
+  std::condition_variable IdleCv; ///< wakes drain()ers
+  std::deque<Task> Pending;
+  int Running = 0; ///< tasks popped but not yet finished
+  bool ShuttingDown = false;
+};
+
+} // namespace threading
+} // namespace hichi
+
+#endif // HICHI_THREADING_WORKQUEUE_H

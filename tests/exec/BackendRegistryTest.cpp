@@ -29,11 +29,12 @@ namespace {
 
 TEST(BackendRegistryTest, BuiltinsEnumerateInRegistrationOrder) {
   std::vector<std::string> Names = BackendRegistry::instance().names();
-  ASSERT_GE(Names.size(), 4u);
+  ASSERT_GE(Names.size(), 5u);
   EXPECT_EQ(Names[0], "serial");
   EXPECT_EQ(Names[1], "openmp");
   EXPECT_EQ(Names[2], "dpcpp");
   EXPECT_EQ(Names[3], "dpcpp-numa");
+  EXPECT_EQ(Names[4], "async-pipeline");
 }
 
 TEST(BackendRegistryTest, CreateResolvesEveryRegisteredName) {
@@ -56,15 +57,18 @@ TEST(BackendRegistryTest, ListBackendNamesJoinsWithSeparator) {
   EXPECT_NE(Listing.find("serial|openmp|dpcpp|dpcpp-numa"), std::string::npos);
 }
 
-/// A trivial user-provided backend: serial execution under a new name.
+/// A trivial user-provided backend: serial execution under a new name
+/// (implementing the event-based submit API synchronously).
 class EchoBackend final : public ExecutionBackend {
 public:
   const char *name() const override { return "echo"; }
-  void launch(const LaunchSpec &Spec, const StepKernel &Kernel,
-              const ExecutionContext &, RunStats &Stats) override {
+  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
+                   const ExecutionContext &, RunStats &Stats) override {
+    waitForDependencies(Spec);
     Kernel(0, Spec.Items, Spec.StepBegin, Spec.StepEnd);
     Stats.HostNs += 1;
     Stats.ModeledNs += 1;
+    return ExecEvent();
   }
 };
 
@@ -149,7 +153,7 @@ TEST_P(BackendCoverageTest, EveryParticleStepPairVisitedExactlyOnce) {
 INSTANTIATE_TEST_SUITE_P(
     AllBuiltins, BackendCoverageTest,
     ::testing::Combine(::testing::Values("serial", "openmp", "dpcpp",
-                                         "dpcpp-numa"),
+                                         "dpcpp-numa", "async-pipeline"),
                        ::testing::Values(1, 2, 4, 7)),
     [](const auto &Info) {
       std::string Name = std::get<0>(Info.param) + "_fuse" +

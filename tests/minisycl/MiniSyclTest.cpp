@@ -320,12 +320,16 @@ TEST(GpuQueueTest, ExecutesCorrectlyAndChargesModeledTime) {
   };
 
   auto Event = Submit();
+  // Simulated GPU queues submit non-blockingly (an in-order device
+  // thread executes the command group), so results may only be read
+  // after synchronizing — exactly like real SYCL.
+  Event.wait();
   EXPECT_FLOAT_EQ(Data[N - 1], 6.0f) << "simulated GPU must still compute";
   EXPECT_TRUE(Event.is_modeled());
   EXPECT_TRUE(Event.included_jit()) << "first launch charges JIT";
 
   auto Steady = Submit();
-  EXPECT_FALSE(Steady.included_jit());
+  EXPECT_FALSE(Steady.included_jit()); // profiling getters wait internally
   EXPECT_LT(Steady.duration_ns(), Event.duration_ns());
   EXPECT_FLOAT_EQ(Data[N - 1], 18.0f);
   // Steady-state modeled time must equal the analytic model exactly.

@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Perf trend checker for hichi-bench-v1 JSON records.
+
+Compares the newest benchmark artifacts (results/BENCH_*.json) against
+the previous recorded run (the baseline directory) and fails when any
+matched configuration regressed by more than the threshold on the NSPS
+metric (ns per particle per step — lower is better). ci/run.sh runs
+this after the smoke benches and updates the baseline on success, so a
+regression must be acknowledged by deleting/refreshing the baseline to
+land.
+
+Records are matched on the full configuration key — (bench, backend,
+stage, scenario, layout, precision, particles, steps, iterations,
+fuse_steps, threads) — so a size or sweep change never produces a bogus
+comparison. The *gate* is per (bench, backend, stage): the median
+drift-adjusted ratio across that triple's matched configurations must
+not exceed the tolerance, so one noisy cell cannot fail a sweep but a
+backend/stage that is consistently slower does. Keys present on only
+one side are counted informationally and never fail the check.
+
+Four layers of noise robustness, because CI smoke sizes are tiny and
+CI hosts are shared: the compared metric is the *best* (fastest)
+iteration of each configuration; run-wide host-speed drift is removed
+by normalizing with the median old/new ratio across every matched
+configuration (a real regression moves one backend/stage against the
+rest; a slow CI host moves everything together); the effective
+tolerance is the larger of the threshold and three robust sigmas
+(1.4826 x MAD) of the run's own drift-adjusted log-ratio spread — on a
+quiet host the 15% threshold binds, on a host whose measurements
+scatter 30% the gate widens to what the data can actually resolve; and
+ci/run.sh demands reproducibility via --regressions-out / --confirm: a
+flagged group only fails CI if it regresses again in a fresh
+re-measurement (real regressions are stable across re-measures;
+process-level noise flags a different group each time). --no-normalize
+disables the drift/tolerance layers.
+
+Usage:
+  tools/bench_trend.py [--results results] [--baseline results/baseline]
+                       [--threshold 0.15] [--update]
+
+Exit status: 1 on regression, 0 otherwise (including "no baseline yet").
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import shutil
+import sys
+
+# The identity of one measured configuration. Everything that changes
+# what is being measured belongs here; nothing that merely re-measures.
+KEY_FIELDS = (
+    "bench",
+    "backend",
+    "stage",
+    "scenario",
+    "layout",
+    "precision",
+    "particles",
+    "steps",
+    "iterations",
+    "fuse_steps",
+    "threads",
+    "submit",
+)
+
+
+def record_key(record):
+    return tuple(record.get(field) for field in KEY_FIELDS)
+
+
+def best_nsps(record):
+    """Noise-robust NSPS: the best (fastest) measured iteration.
+
+    The recorded `nsps` averages all iterations, which on a loaded CI
+    host swings far more than the per-iteration minimum (`min_ns`) —
+    the standard robust estimator for 'how fast can this configuration
+    go'. Falls back to `nsps` when the record lacks the wall-time
+    fields.
+    """
+    nsps = record.get("nsps") or 0.0
+    min_ns = record.get("min_ns") or 0.0
+    particles = record.get("particles") or 0
+    steps = record.get("steps") or 0
+    if min_ns > 0 and particles > 0 and steps > 0:
+        per_iteration = min_ns / (float(particles) * float(steps))
+        if nsps > 0:
+            return min(nsps, per_iteration)
+        return per_iteration
+    return nsps
+
+
+def load_records(directory):
+    """All hichi-bench-v1 records under directory, keyed by configuration.
+
+    Later files win on duplicate keys (there should not be any within one
+    run). Non-JSON or non-bench files are skipped with a note.
+    """
+    records = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"bench_trend: skipping unreadable {path}: {error}")
+            continue
+        if doc.get("schema") != "hichi-bench-v1":
+            print(f"bench_trend: skipping {path}: not hichi-bench-v1")
+            continue
+        for record in doc.get("results", []):
+            records[record_key(record)] = record
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default="results",
+                        help="directory with the newest BENCH_*.json")
+    parser.add_argument("--baseline", default=os.path.join("results",
+                                                           "baseline"),
+                        help="directory with the previous run's artifacts")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fail when nsps grows by more than this "
+                             "fraction (default 0.15 = 15%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="on success (or missing baseline), copy the "
+                             "newest artifacts into the baseline directory")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw NSPS instead of removing the "
+                             "run-wide median host-speed drift first")
+    parser.add_argument("--regressions-out", metavar="PATH",
+                        help="write the failing (bench, backend, stage) "
+                             "groups to PATH as JSON (for a later "
+                             "--confirm pass)")
+    parser.add_argument("--confirm", metavar="PATH",
+                        help="two-strikes mode: only fail on groups that "
+                             "also appear in PATH (written by a previous "
+                             "--regressions-out run) — a reproducible "
+                             "regression fails twice, uncorrelated host "
+                             "noise flags different groups each time")
+    args = parser.parse_args()
+
+    current = load_records(args.results)
+    if not current:
+        print(f"bench_trend: no hichi-bench-v1 artifacts in {args.results}; "
+              "nothing to check")
+        return 0
+
+    baseline = load_records(args.baseline) if os.path.isdir(
+        args.baseline) else {}
+    if not baseline:
+        print(f"bench_trend: no baseline in {args.baseline}; recording the "
+              "current run as the first baseline")
+        if args.update:
+            update_baseline(args.results, args.baseline)
+        return 0
+
+    matched = sorted(set(current) & set(baseline))
+    pairs = []
+    for key in matched:
+        old = best_nsps(baseline[key])
+        new = best_nsps(current[key])
+        if old > 0 and new > 0:  # zero-duration smoke cells carry no signal
+            pairs.append((key, old, new))
+
+    # Run-wide host-speed drift: the median old/new ratio. Multiplying
+    # every new measurement by it re-expresses the current run at the
+    # baseline run's machine speed; genuine per-configuration regressions
+    # survive the rescaling, a uniformly slow/fast host cancels out.
+    drift = 1.0
+    tolerance = args.threshold
+    if pairs and not args.no_normalize:
+        ratios = sorted(old / new for _, old, new in pairs)
+        drift = ratios[len(ratios) // 2]
+        # Noise-adaptive tolerance: the drift-adjusted log-ratios center
+        # on 0 by construction; their median absolute deviation measures
+        # what this host can resolve. Gate at the larger of the requested
+        # threshold and three robust sigmas, so a quiet host enforces the
+        # threshold and a noisy one does not flap on its own scatter.
+        residuals = sorted(abs(math.log(new * drift / old))
+                           for _, old, new in pairs)
+        sigma = 1.4826 * residuals[len(residuals) // 2]
+        tolerance = max(args.threshold, math.expm1(3.0 * sigma))
+
+    # Aggregate to the gated granularity: (bench, backend, stage), the
+    # median drift-adjusted ratio across the triple's configurations.
+    by_triple = {}
+    for key, old, new in pairs:
+        fields = dict(zip(KEY_FIELDS, key))
+        triple = (fields["bench"], fields["backend"], fields["stage"])
+        by_triple.setdefault(triple, []).append(new * drift / old)
+
+    previously_flagged = None
+    if args.confirm:
+        try:
+            with open(args.confirm) as handle:
+                previously_flagged = {tuple(t) for t in json.load(handle)}
+        except (OSError, json.JSONDecodeError):
+            previously_flagged = set()
+
+    regressions = []
+    improvements = 0
+    for triple, ratios in sorted(by_triple.items()):
+        ratios.sort()
+        ratio = ratios[len(ratios) // 2]
+        if ratio > 1.0 + tolerance:
+            if previously_flagged is not None and \
+                    triple not in previously_flagged:
+                print(f"bench_trend: {' / '.join(triple)} regressed "
+                      f"(+{ratio - 1.0:.0%}) only in this measurement, not "
+                      "the previous one — treating as host noise")
+                continue
+            regressions.append((triple, ratio, len(ratios)))
+        elif ratio < 1.0:
+            improvements += 1
+
+    if args.regressions_out:
+        with open(args.regressions_out, "w") as handle:
+            json.dump([list(triple) for triple, _, _ in regressions], handle)
+
+    only_new = len(set(current) - set(baseline))
+    only_old = len(set(baseline) - set(current))
+    print(f"bench_trend: {len(matched)} configurations compared "
+          f"({only_new} new, {only_old} retired), tolerance "
+          f"{tolerance:.0%} (threshold {args.threshold:.0%}), host-speed "
+          f"drift factor {1.0 / drift:.2f}x"
+          if pairs else
+          f"bench_trend: {len(matched)} configurations compared "
+          f"({only_new} new, {only_old} retired)")
+    if drift < 1.0 / 1.2:
+        # The blind spot of drift normalization: a change that slows every
+        # group uniformly looks exactly like a slow host. Surface it
+        # loudly so a layer-wide regression is at least visible in the CI
+        # log even though the per-group gate cannot prove it.
+        print(f"bench_trend: WARNING — the whole run is "
+              f"{1.0 / drift:.2f}x slower than the baseline; if the host "
+              "is not loaded, suspect a uniform (layer-wide) regression, "
+              "which drift normalization cannot distinguish from host "
+              "slowdown (re-check with --no-normalize on a quiet machine)")
+
+    if regressions:
+        print(f"bench_trend: FAIL — {len(regressions)} NSPS regression(s) "
+              "per (bench, backend, stage):", file=sys.stderr)
+        for (bench, backend, stage), ratio, count in regressions:
+            print(f"  {bench} / {backend} / {stage}: median "
+                  f"+{ratio - 1.0:.0%} drift-adjusted NSPS over {count} "
+                  f"configuration(s)", file=sys.stderr)
+        return 1
+
+    print(f"bench_trend: OK ({improvements} of {len(by_triple)} "
+          f"(bench, backend, stage) groups improved, none regressed "
+          f"beyond {tolerance:.0%})")
+    if args.update:
+        update_baseline(args.results, args.baseline)
+    return 0
+
+
+def update_baseline(results_dir, baseline_dir):
+    os.makedirs(baseline_dir, exist_ok=True)
+    copied = 0
+    for path in glob.glob(os.path.join(results_dir, "BENCH_*.json")):
+        shutil.copy2(path, baseline_dir)
+        copied += 1
+    print(f"bench_trend: baseline updated ({copied} artifacts -> "
+          f"{baseline_dir})")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

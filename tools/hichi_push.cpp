@@ -57,6 +57,7 @@ struct Config {
   int FuseSteps = 1;
   int Threads = 0;
   Index Grain = 0;
+  bool Chain = false; ///< event-chained submission instead of mega-kernels
 };
 
 /// FNV-1a over the final particle states (positions, momenta, gamma), so
@@ -126,6 +127,8 @@ int runBenchmark(const Config &Cfg) {
 
   exec::StepLoopOptions<Real> Opts;
   Opts.FuseSteps = Cfg.FuseSteps;
+  if (Cfg.Chain)
+    Opts.Fusion = exec::FusionMode::EventChain;
   auto RunOnce = [&]() -> RunStats {
     if (Cfg.Analytical)
       return exec::runStepLoop<Pusher>(*Backend, Ctx, Particles, Wave, Types,
@@ -155,6 +158,9 @@ int runBenchmark(const Config &Cfg) {
               (unsigned long long)stateHash(Particles));
 
   if (!Cfg.JsonPath.empty()) {
+    // What actually ran: --chain forces the chained shape, and
+    // FusionMode::Auto picks it on asynchronous backends too.
+    const bool Chained = Cfg.Chain || Backend->isAsynchronous();
     bench::JsonReport Report("hichi_push");
     bench::BenchRecord R;
     R.Backend = Cfg.Runner;
@@ -165,7 +171,11 @@ int runBenchmark(const Config &Cfg) {
     R.Particles = (long long)Cfg.Particles;
     R.Steps = Cfg.Steps;
     R.Iterations = Cfg.Iterations;
-    R.FuseSteps = Cfg.FuseSteps;
+    // The chained shape submits single steps — record fuse as what
+    // actually ran, and the submission mode as its own dimension, so
+    // chained and mega-kernel runs never collide in trend comparisons.
+    R.FuseSteps = Chained ? 1 : Cfg.FuseSteps;
+    R.Submit = Chained ? "event-chain" : "mega-kernel";
     R.Threads = Cfg.Threads;
     R.setSeries(Series);
     Report.add(R);
@@ -215,6 +225,8 @@ int main(int Argc, char **Argv) {
   Args.addOption("threads", "worker threads (0 = all)", "0");
   Args.addOption("grain", "dynamic chunk size (0 = auto)", "0");
   Args.addOption("json", "write a machine-readable record to this path", "");
+  Args.addFlag("chain", "submit steps as an event chain (non-blocking "
+                        "submit + one wait) instead of fused mega-kernels");
   Args.addFlag("list-runners", "list registered execution backends and exit");
 
   if (!Args.parse(Argc, Argv)) {
@@ -248,14 +260,15 @@ int main(int Argc, char **Argv) {
   Cfg.FuseSteps = int(Args.getInt("fuse").value_or(1));
   Cfg.Threads = int(Args.getInt("threads").value_or(0));
   Cfg.Grain = Index(Args.getInt("grain").value_or(0));
+  Cfg.Chain = Args.getFlag("chain");
 
   std::printf("scenario=%s layout=%s runner=%s precision=%s pusher=%s "
-              "device=%s N=%lld steps=%d fuse=%d\n\n",
+              "device=%s N=%lld steps=%d fuse=%d submit=%s\n\n",
               Args.getString("scenario").c_str(),
               Args.getString("layout").c_str(), Cfg.Runner.c_str(),
               Args.getString("precision").c_str(), Cfg.Pusher.c_str(),
               Cfg.Device.c_str(), (long long)Cfg.Particles, Cfg.Steps,
-              Cfg.FuseSteps);
+              Cfg.FuseSteps, Cfg.Chain ? "event-chain" : "auto");
 
   if (Cfg.SinglePrecision)
     return dispatchLayout<float>(Cfg);
