@@ -113,6 +113,16 @@ inline std::string envDepositBackendName(const char *Fallback = "serial") {
   return envPushBackendName(Fallback);
 }
 
+/// The field-solve backend named by HICHI_BENCH_FIELD_BACKEND, falling
+/// back to HICHI_BENCH_BACKEND, then \p Fallback — same pattern as the
+/// deposit variable: one push variable configures every PIC stage unless
+/// a stage is overridden explicitly.
+inline std::string envFieldBackendName(const char *Fallback = "serial") {
+  if (auto V = getEnvString("HICHI_BENCH_FIELD_BACKEND"))
+    return *V;
+  return envPushBackendName(Fallback);
+}
+
 /// True if a sweep bench should include \p Backend: HICHI_BENCH_BACKEND
 /// unset (full sweep) or naming exactly \p Backend (restricted run).
 inline bool envBackendSelected(const std::string &Backend) {

@@ -1,0 +1,205 @@
+//===-- bench/bench_pic_fields.cpp - PIC field-solve scaling -------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scaling of the PIC loop's Maxwell field-solve stage over the
+/// execution backends: the x-slab-tiled FDTD advance and the
+/// k-space-parallel spectral solver (pic/FdtdSolver.h /
+/// pic/SpectralSolver.h) per backend x worker count, against the serial
+/// solver as baseline. The per-stage wall times come from PicSimulation's
+/// fieldStats(), and every configuration's final state hash is checked
+/// for bitwise equality per solver (the halo-exchange determinism
+/// guarantee) — the bench fails if any configuration disagrees.
+///
+/// Backend resolution is uniform with the other benches:
+/// HICHI_BENCH_FIELD_BACKEND (falling back to HICHI_BENCH_BACKEND)
+/// restricts the field sweep; push and deposit always run on "serial" so
+/// the field stage is the only variable. Set HICHI_BENCH_JSON=<path> to
+/// also write hichi-bench-v1 records (stage = "field-solve", scenario =
+/// "langmuir-fdtd" / "langmuir-spectral").
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchmarkHarness.h"
+
+#include "pic/Diagnostics.h"
+#include "pic/PicSimulation.h"
+
+#include <thread>
+
+using namespace hichi;
+using namespace hichi::bench;
+using namespace hichi::pic;
+
+namespace {
+
+struct StageResult {
+  MeasuredSeries Field;
+  std::uint64_t Hash = 0;
+  int Tiles = 0;
+};
+
+/// One measured configuration: a fresh Langmuir-style plasma advanced
+/// warmup + Iterations x Steps steps; per-iteration field-stage times
+/// from the simulation's accumulated stage stats.
+StageResult measureConfig(const GridSize &N, int PerCell,
+                          FieldSolverKind Solver,
+                          const std::string &FieldBackend, int Threads,
+                          int Tiles, const BenchSizes &Sizes) {
+  PicOptions<double> Options;
+  Options.LightVelocity = 1.0;
+  Options.SortEveryNSteps = 20;
+  Options.Solver = Solver;
+  Options.PushBackend = "serial";
+  Options.DepositBackend = "serial";
+  Options.FieldBackend = FieldBackend;
+  Options.FieldThreads = Threads;
+  Options.FieldTiles = Tiles;
+  const Index NumParticles = N.count() * PerCell;
+  PicSimulation<double> Sim(N, {0, 0, 0}, {0.5, 0.5, 0.5}, NumParticles,
+                            ParticleTypeTable<double>::natural(), Options);
+
+  const double BoxLength = double(N.Nx) * 0.5;
+  const double Volume = BoxLength * double(N.Ny) * 0.5 * double(N.Nz) * 0.5;
+  const double Weight =
+      Volume / (4.0 * constants::Pi * double(NumParticles));
+  for (Index C = 0; C < N.count(); ++C) {
+    const Index I = C / (N.Ny * N.Nz);
+    const Index J = (C / N.Nz) % N.Ny;
+    const Index K = C % N.Nz;
+    for (int P = 0; P < PerCell; ++P) {
+      ParticleT<double> Particle;
+      Particle.Position = {(double(I) + (P + 0.5) / PerCell) * 0.5,
+                           (double(J) + 0.5) * 0.5, (double(K) + 0.5) * 0.5};
+      const double Vx =
+          0.02 * std::sin(2.0 * constants::Pi * Particle.Position.X /
+                          BoxLength);
+      Particle.Momentum = {Vx / std::sqrt(1 - Vx * Vx), 0, 0};
+      Particle.Weight = Weight;
+      Particle.Type = PS_Electron;
+      Sim.addParticle(Particle);
+    }
+  }
+
+  StageResult Out;
+  Sim.run(Sizes.StepsPerIteration); // warmup (first-touch, halo buffers)
+  double FieldTotal = 0;
+  for (int It = 0; It < Sizes.Iterations; ++It) {
+    const double Before = Sim.fieldStats().HostNs;
+    Sim.run(Sizes.StepsPerIteration);
+    Out.Field.IterationNs.push_back(Sim.fieldStats().HostNs - Before);
+    FieldTotal += Out.Field.IterationNs.back();
+  }
+  Out.Field.Nsps = nsPerParticlePerStep(FieldTotal, Sizes.Iterations,
+                                        double(NumParticles),
+                                        double(Sizes.StepsPerIteration));
+  Out.Hash = picStateHash(Sim.particles(), Sim.grid());
+  Out.Tiles = Sim.fieldTileCount();
+  return Out;
+}
+
+BenchRecord recordOf(const char *Scenario, const std::string &Backend,
+                     int Threads, Index Particles, const BenchSizes &Sizes,
+                     const MeasuredSeries &Series) {
+  BenchRecord R;
+  R.Backend = Backend;
+  R.Stage = "field-solve";
+  R.Scenario = Scenario;
+  R.Layout = "aos";
+  R.Precision = "double";
+  R.Particles = (long long)Particles;
+  R.Steps = Sizes.StepsPerIteration;
+  R.Iterations = Sizes.Iterations;
+  R.Threads = Threads;
+  R.setSeries(Series);
+  return R;
+}
+
+/// Sweeps one solver over every registered backend x worker count and
+/// \returns true iff every configuration's hash matched the serial
+/// baseline's.
+bool sweepSolver(FieldSolverKind Solver, const char *SolverName,
+                 const char *Scenario, const GridSize &N, int PerCell,
+                 const BenchSizes &Sizes, JsonReport &Report) {
+  const Index NumParticles = N.count() * PerCell;
+  const int HostThreads =
+      int(std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> ThreadPoints;
+  for (int T = 1; T <= HostThreads; T *= 2)
+    ThreadPoints.push_back(T);
+  if (ThreadPoints.back() != HostThreads)
+    ThreadPoints.push_back(HostThreads);
+  const int Tiles = 2 * HostThreads; // fixed, so only the workers vary
+
+  const StageResult Serial =
+      measureConfig(N, PerCell, Solver, "serial", 0, 1, Sizes);
+  Report.add(recordOf(Scenario, "serial", 1, NumParticles, Sizes,
+                      Serial.Field));
+  std::printf("%s solver:\n", SolverName);
+  std::printf("%-14s %8s %6s %12s %9s %10s\n", "field backend", "threads",
+              "tiles", "field ms", "speedup", "nsps");
+  printRule(66);
+  std::printf("%-14s %8d %6d %12.3f %9s %10.3f\n", "serial", 1, Serial.Tiles,
+              Serial.Field.medianNs() / 1e6, "1.00x", Serial.Field.Nsps);
+
+  const std::string FieldFilter = envFieldBackendName("");
+  bool AllHashesAgree = true;
+  for (const std::string &Name : exec::BackendRegistry::instance().names()) {
+    if (Name == "serial" || (!FieldFilter.empty() && Name != FieldFilter))
+      continue;
+    for (int Threads : ThreadPoints) {
+      const StageResult R =
+          measureConfig(N, PerCell, Solver, Name, Threads, Tiles, Sizes);
+      Report.add(recordOf(Scenario, Name, Threads, NumParticles, Sizes,
+                          R.Field));
+      const double Speedup = R.Field.medianNs() > 0
+                                 ? Serial.Field.medianNs() / R.Field.medianNs()
+                                 : 0.0;
+      const bool HashOk = R.Hash == Serial.Hash;
+      AllHashesAgree = AllHashesAgree && HashOk;
+      std::printf("%-14s %8d %6d %12.3f %8.2fx %10.3f%s\n", Name.c_str(),
+                  Threads, R.Tiles, R.Field.medianNs() / 1e6, Speedup,
+                  R.Field.Nsps, HashOk ? "" : "  HASH MISMATCH");
+    }
+  }
+  std::printf("\n");
+  return AllHashesAgree;
+}
+
+} // namespace
+
+int main() {
+  BenchSizes Sizes = BenchSizes::fromEnv();
+  // Power-of-two extents so the same grid serves both solvers.
+  const GridSize N{32, 8, 8};
+  const int PerCell = std::max(1, int(Sizes.Particles / N.count()));
+  const Index NumParticles = N.count() * PerCell;
+
+  std::printf("PIC field-solve scaling: %lld particles (%d/cell) on a "
+              "%lldx%lldx%lld grid, %d steps x %d iterations, push and "
+              "deposit on 'serial'\n\n",
+              (long long)NumParticles, PerCell, (long long)N.Nx,
+              (long long)N.Ny, (long long)N.Nz, Sizes.StepsPerIteration,
+              Sizes.Iterations);
+
+  JsonReport Report("bench_pic_fields");
+  const bool FdtdOk = sweepSolver(FieldSolverKind::Fdtd, "FDTD",
+                                  "langmuir-fdtd", N, PerCell, Sizes, Report);
+  const bool SpectralOk =
+      sweepSolver(FieldSolverKind::Spectral, "spectral", "langmuir-spectral",
+                  N, PerCell, Sizes, Report);
+
+  std::printf("(speedup vs the serial solver; on a single-core host all "
+              "speedups are <= 1 — the tiling/halo overhead without the "
+              "parallel payoff)\n");
+  std::printf("field-solve equivalence: %s (all state hashes %s per "
+              "solver)\n",
+              FdtdOk && SpectralOk ? "OK" : "FAIL",
+              FdtdOk && SpectralOk ? "identical" : "DIFFER");
+
+  Report.writeEnvRequested();
+  return FdtdOk && SpectralOk ? 0 : 1;
+}

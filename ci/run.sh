@@ -21,12 +21,14 @@ export HICHI_BENCH_ITERATIONS="${HICHI_BENCH_ITERATIONS:-2}"
 # The smoke benches, as one rerunnable unit: the perf trend gate below
 # re-measures through this function to confirm a flagged regression.
 run_smoke_benches() {
-  # bench_pic_deposit / bench_pic_async also fail by themselves if any
-  # configuration's state hash deviates from the serial reference.
+  # bench_pic_deposit / bench_pic_async / bench_pic_fields also fail by
+  # themselves if any configuration's state hash deviates from the
+  # serial reference.
   HICHI_BENCH_JSON=results/BENCH_scheduling.json \
     ./build/bench_ablation_scheduling
   HICHI_BENCH_JSON=results/BENCH_pic_deposit.json ./build/bench_pic_deposit
   HICHI_BENCH_JSON=results/BENCH_pic_async.json ./build/bench_pic_async
+  HICHI_BENCH_JSON=results/BENCH_pic_fields.json ./build/bench_pic_fields
   for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline; do
     ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
       --iterations 2 --json "results/BENCH_push_${RUNNER}.json" \
@@ -79,6 +81,38 @@ if [ "$(echo "$PIC_HASHES" | sort -u | wc -l)" != "1" ]; then
   exit 1
 fi
 echo "PIC equivalence: OK (all state hashes identical, async pipeline included)"
+
+# The Maxwell field solve must agree bitwise across field backends and
+# tile counts too — for both solvers (FDTD's x-slab halo tiles and the
+# spectral solver's k-space launches), including the asynchronous field
+# backend whose solve event-chains against the deposit reduction. Hashes
+# differ *between* solvers (different physics schemes), so the
+# uniqueness check runs per solver.
+for SOLVER in fdtd spectral; do
+  FIELD_HASHES="$(
+    for B in serial openmp dpcpp dpcpp-numa async-pipeline; do
+      ./build/pic_langmuir --steps 40 --solver "$SOLVER" \
+        --field-backend "$B" --field-tiles 5 \
+        | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+    done
+    ./build/pic_langmuir --steps 40 --solver "$SOLVER" \
+      --field-backend serial \
+      | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+    ./build/pic_langmuir --steps 40 --solver "$SOLVER" \
+      --field-backend openmp --field-tiles 11 --field-threads 2 \
+      | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+    ./build/pic_langmuir --steps 40 --solver "$SOLVER" \
+      --field-backend async-pipeline --field-threads 2 --field-tiles 7 \
+      --deposit-backend async-pipeline --deposit-tiles 3 \
+      | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  )"
+  if [ "$(echo "$FIELD_HASHES" | sort -u | wc -l)" != "1" ]; then
+    echo "FAIL: $SOLVER field-solve state hashes differ across" \
+         "backends/tiles" >&2
+    exit 1
+  fi
+done
+echo "PIC field-solve equivalence: OK (all state hashes identical per solver)"
 
 # Docs must not point at files that do not exist: every relative link in
 # README.md and docs/ARCHITECTURE.md is resolved against the repo root.

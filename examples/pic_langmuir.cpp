@@ -12,14 +12,15 @@
 /// at the plasma frequency omega_p = sqrt(4 pi n e^2 / m). The example
 /// prints the field-energy trace and the measured vs analytic frequency.
 ///
-/// Both backend-parallel PIC stages are configurable from the command
-/// line, and the final state hash is backend-independent — swap
-/// --push-backend / --deposit-backend / --deposit-tiles and the hash must
-/// not move (ci/run.sh checks exactly that):
+/// All three backend-parallel PIC stages are configurable from the
+/// command line, and the final state hash is backend-independent — swap
+/// --push-backend / --deposit-backend / --field-backend (or any tile
+/// knob) and the hash must not move (ci/run.sh checks exactly that):
 ///
 /// \code
 ///   pic_langmuir --push-backend dpcpp --deposit-backend openmp
 ///   pic_langmuir --deposit-backend dpcpp-numa --deposit-tiles 8 --steps 50
+///   pic_langmuir --field-backend openmp --field-tiles 5 --solver spectral
 ///   pic_langmuir --list-runners
 /// \endcode
 ///
@@ -52,6 +53,15 @@ int main(int Argc, char **Argv) {
                  "ensemble chunks of the async precalc/push pipeline "
                  "(0 = auto; only used by asynchronous push backends)",
                  "0");
+  Args.addOption("field-backend",
+                 "exec backend of the Maxwell field-solve stage", "openmp");
+  Args.addOption("field-threads", "field-solve worker threads (0 = all)",
+                 "0");
+  Args.addOption("field-tiles",
+                 "field-solve tiles: x-slabs for FDTD, k-space chunks for "
+                 "spectral (0 = auto)",
+                 "0");
+  Args.addOption("solver", "Maxwell solver: fdtd or spectral", "fdtd");
   Args.addOption("steps", "time steps to run (0 = two plasma periods)", "0");
   Args.addFlag("list-runners", "list registered execution backends and exit");
   if (!Args.parse(Argc, Argv)) {
@@ -93,8 +103,20 @@ int main(int Argc, char **Argv) {
   Options.DepositTiles = int(Args.getInt("deposit-tiles").value_or(0));
   Options.PushPipelineChunks =
       int(Args.getInt("pipeline-chunks").value_or(0));
+  Options.FieldBackend = Args.getString("field-backend");
+  Options.FieldThreads = int(Args.getInt("field-threads").value_or(0));
+  Options.FieldTiles = int(Args.getInt("field-tiles").value_or(0));
+  const std::string SolverName = Args.getString("solver");
+  if (SolverName == "spectral") {
+    Options.Solver = FieldSolverKind::Spectral;
+  } else if (SolverName != "fdtd") {
+    std::fprintf(stderr, "error: unknown solver '%s' (fdtd or spectral)\n",
+                 SolverName.c_str());
+    return 1;
+  }
   if (!exec::BackendRegistry::instance().contains(Options.PushBackend) ||
-      !exec::BackendRegistry::instance().contains(Options.DepositBackend)) {
+      !exec::BackendRegistry::instance().contains(Options.DepositBackend) ||
+      !exec::BackendRegistry::instance().contains(Options.FieldBackend)) {
     std::fprintf(stderr, "error: unknown backend (known: %s)\n",
                  exec::listBackendNames(", ").c_str());
     return 1;
@@ -176,6 +198,9 @@ int main(int Argc, char **Argv) {
   std::printf("deposit stage ran on '%s' (%d tiles): %.2f ms total\n",
               Sim.depositBackend().name(), Sim.depositTileCount(),
               Sim.depositStats().HostNs / 1e6);
+  std::printf("field solve (%s) ran on '%s' (%d tiles): %.2f ms total\n",
+              SolverName.c_str(), Sim.fieldBackend().name(),
+              Sim.fieldTileCount(), Sim.fieldStats().HostNs / 1e6);
   std::printf("final state hash = %016llx (backend-independent)\n",
               (unsigned long long)picStateHash(Sim.particles(), Sim.grid()));
   return 0;

@@ -58,6 +58,7 @@
 #include "exec/ExecEvent.h"
 #include "support/Config.h"
 
+#include <memory>
 #include <vector>
 
 namespace minisycl {
@@ -101,6 +102,15 @@ struct ExecutionContext {
   minisycl::queue *Queue = nullptr;
   const gpusim::KernelProfile *GpuWorkload = nullptr;
 };
+
+/// Owning storage for kernel bodies submitted asynchronously: StepKernel
+/// is non-owning, so a driver that submits a chain of launches and waits
+/// only at the end parks each body here (type-erased, shared) and clears
+/// the container after the final wait. Helpers that build such chains
+/// (TiledCurrentAccumulator::submitDeposit, FdtdSolver::submitStep,
+/// SpectralSolver::submitStep) take one by reference so a whole
+/// deposit→field chain shares a single lifetime scope.
+using KernelKeepAlive = std::vector<std::shared_ptr<const void>>;
 
 /// \returns a stable identity for kernel type \p KernelFn without RTTI:
 /// the address of a function-template-static is unique per instantiation.
@@ -224,6 +234,30 @@ protected:
       Dep.wait();
   }
 };
+
+/// Submits \p Block as one single-step launch over \p Items items, with
+/// the body copied to the heap and parked in \p Keep so it outlives an
+/// asynchronous execution (the lifetime contract above). The shared
+/// submission shape of every event-chained tile/elementwise driver
+/// (tiled deposition, FDTD slabs, spectral passes): only Items,
+/// GrainHint and the dependency list vary.
+template <typename BlockFn>
+ExecEvent submitKeptLaunch(ExecutionBackend &Backend,
+                           const ExecutionContext &Ctx, RunStats &Stats,
+                           Index Items, Index GrainHint, BlockFn Block,
+                           const std::vector<ExecEvent> &DependsOn,
+                           KernelKeepAlive &Keep) {
+  auto Body = std::make_shared<BlockFn>(std::move(Block));
+  Keep.push_back(Body);
+  LaunchSpec Spec;
+  Spec.Items = Items;
+  Spec.StepBegin = 0;
+  Spec.StepEnd = 1;
+  Spec.GrainHint = GrainHint;
+  Spec.DependsOn = DependsOn;
+  return Backend.submit(Spec, StepKernel(*Body, kernelIdentity<BlockFn>()),
+                        Ctx, Stats);
+}
 
 } // namespace exec
 } // namespace hichi

@@ -11,14 +11,26 @@
 ///   2. push particles (Boris method — the paper's kernel),
 ///   3. deposit particle currents to the grid (Esirkepov,
 ///      charge-conserving),
-///   4. advance Maxwell's equations (FDTD on the Yee grid),
+///   4. advance Maxwell's equations (FDTD on the Yee grid, or the
+///      spectral solver),
 ///
 /// with periodic boundaries for particles and fields. Stages 1+2 run as
-/// one independent-particle kernel and stage 3 as a tiled
-/// read-modify-write kernel, each on its own configurable execution
-/// backend (PicOptions::PushBackend / DepositBackend) — see
-/// docs/ARCHITECTURE.md for the full stage-to-backend map. This is the
-/// substrate the standalone pusher benchmarks carve their kernel out of.
+/// one independent-particle kernel, stage 3 as a tiled read-modify-write
+/// kernel, and stage 4 as x-slab halo-exchange tiles (FDTD) or k-space
+/// line/row launches (spectral) — each stage on its own configurable
+/// execution backend (PicOptions::PushBackend / DepositBackend /
+/// FieldBackend) — see docs/ARCHITECTURE.md for the full
+/// stage-to-backend map. This is the substrate the standalone pusher
+/// benchmarks carve their kernel out of.
+///
+/// Stages 3 and 4 are submitted as one event chain: the deposit's
+/// accumulate → reduce launches, then the field solve's launches with
+/// the reduction's event as the dependency of the first launch that
+/// reads J (the FDTD E advance / the spectral gather). On asynchronous
+/// backends the first FDTD half-step therefore overlaps the deposit
+/// reduction — it touches no J lattice — while the chain keeps the
+/// per-node operation order, and hence the state hash, bit-identical to
+/// the all-serial loop.
 ///
 /// On an asynchronous push backend ("async-pipeline"), stage 1 runs as a
 /// **double-buffered precalc/push pipeline**: the field interpolation is
@@ -100,6 +112,22 @@ template <typename Real> struct PicOptions {
   /// Current tiles (x-slabs) for the deposit stage; 0 = auto (1 for the
   /// serial backend, else two tiles per worker, capped at the grid's Nx).
   int DepositTiles = 0;
+
+  /// Execution backend for the Maxwell field-solve stage. The FDTD
+  /// advance runs as x-slab tiles with a one-plane halo exchange per
+  /// face, the spectral solver as k-space line/row launches; both are
+  /// bit-identical to the serial solver for every backend, thread count
+  /// and tile count. Asynchronous backends event-chain the solve against
+  /// the deposit reduction.
+  std::string FieldBackend = "serial";
+
+  /// Worker threads for the field-solve stage; 0 means all.
+  int FieldThreads = 0;
+
+  /// Tiles of the field-solve stage — x-slabs for FDTD (capped at Nx),
+  /// schedulable k-space chunks per launch for the spectral solver;
+  /// 0 = auto (1 for the serial backend, else two per worker).
+  int FieldTiles = 0;
 };
 
 /// Accumulated timing of the double-buffered precalc/push pipeline (only
@@ -144,18 +172,31 @@ public:
                             {this->Options.DepositThreads, /*Grain=*/0});
     if (!DepositExec)
       fatalError("PicOptions::DepositBackend names no registered backend");
-    if (Backend->needsQueue() || DepositExec->needsQueue())
+    FieldExec = exec::createBackend(this->Options.FieldBackend,
+                                    {this->Options.FieldThreads, /*Grain=*/0});
+    if (!FieldExec)
+      fatalError("PicOptions::FieldBackend names no registered backend");
+    if (Backend->needsQueue() || DepositExec->needsQueue() ||
+        FieldExec->needsQueue())
       Queue = std::make_unique<minisycl::queue>(minisycl::cpu_device());
     Accumulator = std::make_unique<TiledCurrentAccumulator<Real>>(
-        Size, Origin, Step, resolveDepositTiles());
+        Size, Origin, Step,
+        resolveStageTiles(this->Options.DepositTiles, *DepositExec,
+                          this->Options.DepositThreads));
+    FieldTileCount = resolveStageTiles(this->Options.FieldTiles, *FieldExec,
+                                       this->Options.FieldThreads);
     if (this->Options.TimeStep <= Real(0))
       this->Options.TimeStep = Solver.courantLimit(Grid) / Real(2);
-    if (this->Options.Solver == FieldSolverKind::Spectral)
+    if (this->Options.Solver == FieldSolverKind::Spectral) {
       Spectral = std::make_unique<SpectralSolver<Real>>(
           Size, Step, Options.LightVelocity);
-    else
+    } else {
+      FieldPartition =
+          std::make_unique<FdtdSlabPartition<Real>>(Size, FieldTileCount);
+      FieldTileCount = FieldPartition->tileCount(); // clamped to Nx
       assert(this->Options.TimeStep <= Solver.courantLimit(Grid) &&
              "time step violates the Courant condition");
+    }
   }
 
   YeeGrid<Real> &grid() { return Grid; }
@@ -228,24 +269,54 @@ public:
       P.setPosition(Grid.wrapPosition(Pos));
     }
 
-    // Stage 3 — current deposition through the deposit backend: per-tile
-    // private accumulation plus fixed-order reduction, bit-identical to
-    // the serial particle-order scatter (TiledCurrentAccumulator.h).
+    // Stages 3 + 4 — one event chain. Stage 3: current deposition
+    // through the deposit backend, per-tile private accumulation plus
+    // fixed-order reduction, bit-identical to the serial particle-order
+    // scatter (TiledCurrentAccumulator.h). Stage 4: the Maxwell solve
+    // through the field backend, chained on the deposit reduction's
+    // event at the first launch that reads J — so on an asynchronous
+    // field backend the reduction's tail overlaps the first FDTD
+    // half-step. Kernel bodies live in ChainKernels until the final
+    // wait (the asynchronous lifetime contract).
+    exec::KernelKeepAlive ChainKernels;
+    exec::ExecEvent JReady;
+    // Kernel-only share; the stage metric is wall. Function-scoped, not
+    // block-scoped: asynchronous deposit launches write it until JReady
+    // completes, which can be after the stage-3 block exits when an
+    // asynchronous field backend skips the inline wait below.
+    RunStats DepositLaunchStats;
     {
       Stopwatch Watch;
-      RunStats LaunchStats; // kernel-only share; the stage metric is wall
-      Accumulator->deposit(Grid, View, OldPos, NewPos, TypesPtr, Dt,
-                           Options.ChargeConserving, *DepositExec, Ctx,
-                           LaunchStats);
+      JReady = Accumulator->submitDeposit(Grid, View, OldPos, NewPos,
+                                          TypesPtr, Dt,
+                                          Options.ChargeConserving,
+                                          *DepositExec, Ctx,
+                                          DepositLaunchStats, ChainKernels);
+      if (!FieldExec->isAsynchronous())
+        JReady.wait(); // keep the serial stage-wall attribution exact
       const double Ns = double(Watch.elapsedNanoseconds());
       DepositTiming.HostNs += Ns;
       DepositTiming.ModeledNs += Ns;
     }
 
-    if (Spectral)
-      Spectral->step(Grid, Dt);
-    else
-      Solver.step(Grid, Dt);
+    {
+      // On an asynchronous field backend this wall includes the deposit
+      // tail the chain hides — the stage boundary blurs by design.
+      Stopwatch Watch;
+      RunStats LaunchStats;
+      const exec::ExecEvent FieldsDone =
+          Spectral ? Spectral->submitStep(Grid, Dt, *FieldExec, Ctx,
+                                          FieldTileCount, LaunchStats,
+                                          JReady, ChainKernels)
+                   : Solver.submitStep(Grid, Dt, *FieldPartition, *FieldExec,
+                                       Ctx, LaunchStats, JReady,
+                                       ChainKernels);
+      FieldsDone.wait();
+      JReady.wait(); // retire the deposit launches' stats publication too
+      const double Ns = double(Watch.elapsedNanoseconds());
+      FieldTiming.HostNs += Ns;
+      FieldTiming.ModeledNs += Ns;
+    }
 
     CurrentTime += Dt;
     ++Steps;
@@ -295,15 +366,28 @@ public:
   /// The execution backend running the deposit stage.
   const exec::ExecutionBackend &depositBackend() const { return *DepositExec; }
 
+  /// The execution backend running the field-solve stage.
+  const exec::ExecutionBackend &fieldBackend() const { return *FieldExec; }
+
   /// Current tiles the deposit stage scatters into.
   int depositTileCount() const { return Accumulator->tileCount(); }
+
+  /// Tiles of the field-solve stage (x-slabs for FDTD, schedulable
+  /// k-space chunks per launch for the spectral solver).
+  int fieldTileCount() const { return FieldTileCount; }
 
   /// Accumulated timing of the push stage across all steps so far.
   const RunStats &pushStats() const { return PushTiming; }
 
   /// Accumulated wall time of the deposit stage (binning + accumulate +
-  /// reduce) across all steps so far.
+  /// reduce; submission only when an asynchronous field backend overlaps
+  /// the tail) across all steps so far.
   const RunStats &depositStats() const { return DepositTiming; }
+
+  /// Accumulated wall time of the field-solve stage across all steps so
+  /// far (on asynchronous field backends it includes the overlapped
+  /// deposit tail).
+  const RunStats &fieldStats() const { return FieldTiming; }
 
   /// True if stage 1 runs as the double-buffered precalc/push pipeline
   /// (the push backend is asynchronous).
@@ -456,17 +540,20 @@ private:
     return (N + Requested - 1) / Requested;
   }
 
-  /// The deposit tile count: the explicit option, or 1 for the serial
-  /// backend (the classic scatter, no private slabs), else two tiles per
-  /// worker so dynamic backends can balance uneven particle densities.
-  int resolveDepositTiles() const {
-    if (Options.DepositTiles > 0)
-      return Options.DepositTiles;
-    if (std::string(DepositExec->name()) == "serial")
+  /// The tile-count heuristic shared by the deposit and field stages:
+  /// the explicit option, or 1 for the serial backend (the classic
+  /// whole-grid pass, zero tiling overhead), else two tiles per worker
+  /// so dynamic backends can balance uneven work (the tile partitions
+  /// additionally clamp to the grid's Nx).
+  static int resolveStageTiles(int ExplicitTiles,
+                               const exec::ExecutionBackend &Exec,
+                               int Threads) {
+    if (ExplicitTiles > 0)
+      return ExplicitTiles;
+    if (std::string(Exec.name()) == "serial")
       return 1;
-    const int Workers = Options.DepositThreads > 0
-                            ? Options.DepositThreads
-                            : int(std::thread::hardware_concurrency());
+    const int Workers =
+        Threads > 0 ? Threads : int(std::thread::hardware_concurrency());
     return 2 * std::max(1, Workers);
   }
 
@@ -479,16 +566,20 @@ private:
   PicOptions<Real> Options;
   std::unique_ptr<exec::ExecutionBackend> Backend;
   std::unique_ptr<exec::ExecutionBackend> DepositExec;
+  std::unique_ptr<exec::ExecutionBackend> FieldExec;
   std::unique_ptr<TiledCurrentAccumulator<Real>> Accumulator;
+  std::unique_ptr<FdtdSlabPartition<Real>> FieldPartition; ///< FDTD only
   std::unique_ptr<minisycl::queue> Queue;
   std::vector<Vector3<Real>> OldPositions;
   std::vector<Vector3<Real>> NewPositions;
   std::vector<FieldSample<Real>> PipelineSamples[2]; ///< the double buffer
   RunStats PushTiming;
   RunStats DepositTiming;
+  RunStats FieldTiming;
   RunStats PrecalcKernelTiming; ///< pipeline precalc kernels only
   RunStats PushKernelTiming;    ///< pipeline push kernels only
   PicPipelineStats PipelineTiming;
+  int FieldTileCount = 1;
   Real CurrentTime = Real(0);
   int Steps = 0;
 };

@@ -46,6 +46,7 @@
 #include "pic/YeeGrid.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 namespace hichi {
@@ -152,7 +153,7 @@ public:
   /// Deposits the currents of every particle of \p View moving from
   /// \p OldPos[i] to \p NewPos[i] (both *unwrapped*) into \p Grid's J
   /// lattices, Esirkepov when \p ChargeConserving else direct CIC,
-  /// through \p Backend. \p Stats accumulates the two launches' kernel
+  /// through \p Backend. \p Stats accumulates the launches' kernel
   /// time. The grid's J lattices must have been cleared this step.
   template <typename ParticleView>
   void deposit(YeeGrid<Real> &Grid, const ParticleView &View,
@@ -160,6 +161,29 @@ public:
                const ParticleTypeInfo<Real> *Types, Real Dt,
                bool ChargeConserving, exec::ExecutionBackend &Backend,
                const exec::ExecutionContext &Ctx, RunStats &Stats) {
+    exec::KernelKeepAlive Keep;
+    submitDeposit(Grid, View, OldPos, NewPos, Types, Dt, ChargeConserving,
+                  Backend, Ctx, Stats, Keep)
+        .wait();
+  }
+
+  /// The event-chained form of deposit(): bins on the host, then submits
+  /// the accumulate and reduce phases as non-blocking launches (reduce
+  /// depends on accumulate) and \returns the reduction's event — the
+  /// handle the backend-parallel field solve chains its E advance on
+  /// (only that launch reads J, so the first FDTD half-step may overlap
+  /// the reduction). Kernel bodies are parked in \p Keep; wait the
+  /// returned event (and only then read \p Stats or drop \p Keep) before
+  /// touching the J lattices. On synchronous backends everything
+  /// executes inline and the returned event is already complete.
+  template <typename ParticleView>
+  exec::ExecEvent
+  submitDeposit(YeeGrid<Real> &Grid, const ParticleView &View,
+                const Vector3<Real> *OldPos, const Vector3<Real> *NewPos,
+                const ParticleTypeInfo<Real> *Types, Real Dt,
+                bool ChargeConserving, exec::ExecutionBackend &Backend,
+                const exec::ExecutionContext &Ctx, RunStats &Stats,
+                exec::KernelKeepAlive &Keep) {
     const Index N = View.size();
     const Vector3<Real> D = Step, O = Origin;
 
@@ -173,8 +197,8 @@ public:
           scatterParticle(Sink, View[I], OldPos[I], NewPos[I], Types, D, O,
                           Dt, ChargeConserving);
       };
-      launchOverTiles(Backend, Ctx, Stats, 1, Block);
-      return;
+      return submitOverTiles(Backend, Ctx, Stats, 1, std::move(Block), {},
+                             Keep);
     }
 
     binParticles(OldPos, NewPos, ChargeConserving, N);
@@ -199,7 +223,9 @@ public:
                           Dt, ChargeConserving);
       }
     };
-    launchOverTiles(Backend, Ctx, Stats, Index(tileCount()), Accumulate);
+    const exec::ExecEvent Accumulated = submitOverTiles(
+        Backend, Ctx, Stats, Index(tileCount()), std::move(Accumulate), {},
+        Keep);
 
     // Phase 3 — reduction into the grid, ascending tile order within each
     // block. Owned plane ranges are disjoint and plane-contiguous in the
@@ -224,7 +250,8 @@ public:
         }
       }
     };
-    launchOverTiles(Backend, Ctx, Stats, Index(tileCount()), Reduce);
+    return submitOverTiles(Backend, Ctx, Stats, Index(tileCount()),
+                           std::move(Reduce), {Accumulated}, Keep);
   }
 
 private:
@@ -287,21 +314,20 @@ private:
     }
   }
 
-  /// One synchronous backend launch over \p Items tiles, one schedulable
-  /// chunk per tile (GrainHint = 1).
+  /// One non-blocking backend launch over \p Items tiles, one
+  /// schedulable chunk per tile (GrainHint = 1); the body is parked in
+  /// \p Keep until the chain's final wait (the asynchronous lifetime
+  /// contract).
   template <typename BlockFn>
-  static void launchOverTiles(exec::ExecutionBackend &Backend,
-                              const exec::ExecutionContext &Ctx,
-                              RunStats &Stats, Index Items,
-                              const BlockFn &Block) {
-    const exec::StepKernel Kernel(Block,
-                                  exec::kernelIdentity<BlockFn>());
-    exec::LaunchSpec Spec;
-    Spec.Items = Items;
-    Spec.StepBegin = 0;
-    Spec.StepEnd = 1;
-    Spec.GrainHint = 1;
-    Backend.launch(Spec, Kernel, Ctx, Stats);
+  static exec::ExecEvent
+  submitOverTiles(exec::ExecutionBackend &Backend,
+                  const exec::ExecutionContext &Ctx, RunStats &Stats,
+                  Index Items, BlockFn Block,
+                  const std::vector<exec::ExecEvent> &DependsOn,
+                  exec::KernelKeepAlive &Keep) {
+    return exec::submitKeptLaunch(Backend, Ctx, Stats, Items,
+                                  /*GrainHint=*/1, std::move(Block),
+                                  DependsOn, Keep);
   }
 
   GridSize Size;

@@ -99,8 +99,20 @@ template <typename Real> Real fftFrequency(std::size_t K, std::size_t N) {
   return Real(2) * Real(constants::Pi) * Real(Signed) / Real(N);
 }
 
+/// The three 1-D pass directions of a 3-D transform, in the order the
+/// full transform applies them (z first, x last).
+enum class FftAxis { Z, Y, X };
+
 /// 3-D in-place FFT over a contiguous row-major Nx x Ny x Nz lattice.
 /// All three extents must be powers of two.
+///
+/// Besides the whole-lattice transform(), the per-line API exposes each
+/// pass as independent 1-D line transforms (lineCount / transformLine):
+/// lines within one pass touch disjoint elements, so callers may
+/// transform them in any order or concurrently — the backend-parallel
+/// spectral Maxwell solver fans a pass out as one launch over its lines.
+/// transform() itself is implemented on the same per-line code, so the
+/// serial and parallel paths share one arithmetic by construction.
 template <typename Real> class Fft3D {
 public:
   Fft3D(std::size_t Nx, std::size_t Ny, std::size_t Nz)
@@ -111,44 +123,70 @@ public:
 
   std::size_t size() const { return Nx * Ny * Nz; }
 
-  /// Transforms \p Data (size Nx*Ny*Nz, row-major) in place.
+  /// Number of independent 1-D lines of the pass along \p Axis.
+  std::size_t lineCount(FftAxis Axis) const {
+    switch (Axis) {
+    case FftAxis::Z:
+      return Nx * Ny;
+    case FftAxis::Y:
+      return Nx * Nz;
+    default:
+      return Ny * Nz;
+    }
+  }
+
+  /// Transforms line \p LineIndex (in [0, lineCount(Axis))) of the pass
+  /// along \p Axis in place. \p Scratch is caller-provided working
+  /// storage (resized as needed, reused across calls) so concurrent
+  /// callers each bring their own. Lines of one pass are disjoint.
+  void transformLine(FftAxis Axis, std::size_t LineIndex,
+                     std::complex<Real> *Data, bool Inverse,
+                     std::vector<std::complex<Real>> &Scratch) const {
+    switch (Axis) {
+    case FftAxis::Z: {
+      // Contiguous lines: LineIndex = I * Ny + J.
+      Scratch.resize(Nz);
+      const std::size_t Base = LineIndex * Nz;
+      for (std::size_t K = 0; K < Nz; ++K)
+        Scratch[K] = Data[Base + K];
+      fftInPlace(Scratch, Inverse);
+      for (std::size_t K = 0; K < Nz; ++K)
+        Data[Base + K] = Scratch[K];
+      return;
+    }
+    case FftAxis::Y: {
+      // LineIndex = I * Nz + K.
+      Scratch.resize(Ny);
+      const std::size_t I = LineIndex / Nz, K = LineIndex % Nz;
+      for (std::size_t J = 0; J < Ny; ++J)
+        Scratch[J] = Data[(I * Ny + J) * Nz + K];
+      fftInPlace(Scratch, Inverse);
+      for (std::size_t J = 0; J < Ny; ++J)
+        Data[(I * Ny + J) * Nz + K] = Scratch[J];
+      return;
+    }
+    default: {
+      // LineIndex = J * Nz + K.
+      Scratch.resize(Nx);
+      const std::size_t J = LineIndex / Nz, K = LineIndex % Nz;
+      for (std::size_t I = 0; I < Nx; ++I)
+        Scratch[I] = Data[(I * Ny + J) * Nz + K];
+      fftInPlace(Scratch, Inverse);
+      for (std::size_t I = 0; I < Nx; ++I)
+        Data[(I * Ny + J) * Nz + K] = Scratch[I];
+      return;
+    }
+    }
+  }
+
+  /// Transforms \p Data (size Nx*Ny*Nz, row-major) in place: the z, y
+  /// and x passes in order, each a serial loop over transformLine.
   void transform(std::vector<std::complex<Real>> &Data, bool Inverse) const {
     assert(Data.size() == size() && "lattice size mismatch");
-    std::vector<std::complex<Real>> Line;
-
-    // Along z: contiguous lines.
-    Line.resize(Nz);
-    for (std::size_t I = 0; I < Nx; ++I)
-      for (std::size_t J = 0; J < Ny; ++J) {
-        const std::size_t Base = (I * Ny + J) * Nz;
-        for (std::size_t K = 0; K < Nz; ++K)
-          Line[K] = Data[Base + K];
-        fftInPlace(Line, Inverse);
-        for (std::size_t K = 0; K < Nz; ++K)
-          Data[Base + K] = Line[K];
-      }
-
-    // Along y.
-    Line.resize(Ny);
-    for (std::size_t I = 0; I < Nx; ++I)
-      for (std::size_t K = 0; K < Nz; ++K) {
-        for (std::size_t J = 0; J < Ny; ++J)
-          Line[J] = Data[(I * Ny + J) * Nz + K];
-        fftInPlace(Line, Inverse);
-        for (std::size_t J = 0; J < Ny; ++J)
-          Data[(I * Ny + J) * Nz + K] = Line[J];
-      }
-
-    // Along x.
-    Line.resize(Nx);
-    for (std::size_t J = 0; J < Ny; ++J)
-      for (std::size_t K = 0; K < Nz; ++K) {
-        for (std::size_t I = 0; I < Nx; ++I)
-          Line[I] = Data[(I * Ny + J) * Nz + K];
-        fftInPlace(Line, Inverse);
-        for (std::size_t I = 0; I < Nx; ++I)
-          Data[(I * Ny + J) * Nz + K] = Line[I];
-      }
+    std::vector<std::complex<Real>> Scratch;
+    for (FftAxis Axis : {FftAxis::Z, FftAxis::Y, FftAxis::X})
+      for (std::size_t L = 0, E = lineCount(Axis); L < E; ++L)
+        transformLine(Axis, L, Data.data(), Inverse, Scratch);
   }
 
 private:

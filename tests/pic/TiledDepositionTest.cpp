@@ -296,6 +296,125 @@ TEST(TiledDepositionTest, SimulationHashInvariantForAsyncPushPipelineSoA) {
 }
 
 //===----------------------------------------------------------------------===//
+// Simulation-level state-hash equivalence across *field* backends
+//===----------------------------------------------------------------------===//
+
+/// Like simulationHash, but configures the Maxwell field-solve stage
+/// (and optionally the other two) on a power-of-two grid so both the
+/// FDTD and the spectral solver run the same setup. The x-slab-tiled,
+/// halo-exchanged FDTD launches and the k-space-parallel spectral
+/// launches must reproduce the all-serial loop bit-for-bit for every
+/// backend x tile count — including asynchronous field backends, where
+/// the solve event-chains against the deposit reduction.
+template <typename Array>
+std::uint64_t fieldSimulationHash(FieldSolverKind Solver,
+                                  const std::string &FieldBackend,
+                                  int FieldTiles, int FieldThreads, int Steps,
+                                  const std::string &PushBackend = "serial",
+                                  const std::string &DepositBackend = "serial",
+                                  int DepositTiles = 1) {
+  const GridSize N{16, 4, 4};
+  PicOptions<double> Options;
+  Options.LightVelocity = 1.0;
+  Options.SortEveryNSteps = 7;
+  Options.Solver = Solver;
+  Options.PushBackend = PushBackend;
+  Options.DepositBackend = DepositBackend;
+  Options.DepositTiles = DepositTiles;
+  Options.FieldBackend = FieldBackend;
+  Options.FieldTiles = FieldTiles;
+  Options.FieldThreads = FieldThreads;
+  const int PerCell = 2;
+  PicSimulation<double, Array> Sim(N, {0, 0, 0}, {0.5, 0.5, 0.5},
+                                   N.count() * PerCell,
+                                   ParticleTypeTable<double>::natural(),
+                                   Options);
+  for (Index C = 0; C < N.count(); ++C) {
+    const Index I = C / (N.Ny * N.Nz);
+    const Index J = (C / N.Nz) % N.Ny;
+    const Index K = C % N.Nz;
+    for (int P = 0; P < PerCell; ++P) {
+      ParticleT<double> Particle;
+      Particle.Position = {(double(I) + 0.25 + 0.5 * P) * 0.5,
+                           (double(J) + 0.5) * 0.5, (double(K) + 0.5) * 0.5};
+      const double Vx =
+          0.02 * std::sin(2.0 * constants::Pi * Particle.Position.X / 8.0);
+      Particle.Momentum = {Vx / std::sqrt(1 - Vx * Vx), 0, 0};
+      Particle.Weight = 0.05;
+      Particle.Type = PS_Electron;
+      Sim.addParticle(Particle);
+    }
+  }
+  Sim.run(Steps);
+  return picStateHash(Sim.particles(), Sim.grid());
+}
+
+TEST(TiledDepositionTest, SimulationHashInvariantAcrossFieldBackendsFdtd) {
+  const std::uint64_t Reference = fieldSimulationHash<ParticleArrayAoS<double>>(
+      FieldSolverKind::Fdtd, "serial", 1, 0, 100);
+  for (const std::string &Name : exec::BackendRegistry::instance().names())
+    for (int Tiles : {1, 4, 7})
+      EXPECT_EQ(fieldSimulationHash<ParticleArrayAoS<double>>(
+                    FieldSolverKind::Fdtd, Name, Tiles, 0, 100),
+                Reference)
+          << "field backend=" << Name << " tiles=" << Tiles;
+  // Pinned worker counts must not change the result either.
+  EXPECT_EQ(fieldSimulationHash<ParticleArrayAoS<double>>(
+                FieldSolverKind::Fdtd, "openmp", 7, 2, 100),
+            Reference);
+}
+
+TEST(TiledDepositionTest, SimulationHashInvariantAcrossFieldBackendsSpectral) {
+  const std::uint64_t Reference = fieldSimulationHash<ParticleArrayAoS<double>>(
+      FieldSolverKind::Spectral, "serial", 1, 0, 100);
+  for (const std::string &Name : exec::BackendRegistry::instance().names())
+    for (int Tiles : {1, 4, 7})
+      EXPECT_EQ(fieldSimulationHash<ParticleArrayAoS<double>>(
+                    FieldSolverKind::Spectral, Name, Tiles, 0, 100),
+                Reference)
+          << "field backend=" << Name << " tiles=" << Tiles;
+}
+
+TEST(TiledDepositionTest, SimulationHashInvariantAcrossFieldBackendsSoA) {
+  const std::uint64_t Reference = fieldSimulationHash<ParticleArraySoA<double>>(
+      FieldSolverKind::Fdtd, "serial", 1, 0, 100);
+  for (const std::string &Name : exec::BackendRegistry::instance().names())
+    EXPECT_EQ(fieldSimulationHash<ParticleArraySoA<double>>(
+                  FieldSolverKind::Fdtd, Name, 4, 0, 100),
+              Reference)
+        << "field backend=" << Name;
+}
+
+TEST(TiledDepositionTest, SimulationHashInvariantForAsyncFieldChain) {
+  // The asynchronous field path: the solve's launches event-chain
+  // against the deposit reduction (the first FDTD half-step may overlap
+  // it) — and the bits still cannot move, for any lane count x tile
+  // count x solver, including the fully asynchronous loop where all
+  // three stages run on async-pipeline backends.
+  for (FieldSolverKind Solver :
+       {FieldSolverKind::Fdtd, FieldSolverKind::Spectral}) {
+    const std::uint64_t Reference =
+        fieldSimulationHash<ParticleArrayAoS<double>>(Solver, "serial", 1, 0,
+                                                      100);
+    for (int Lanes : {1, 2})
+      for (int Tiles : {1, 4, 7})
+        EXPECT_EQ(fieldSimulationHash<ParticleArrayAoS<double>>(
+                      Solver, "async-pipeline", Tiles, Lanes, 100),
+                  Reference)
+            << "lanes=" << Lanes << " tiles=" << Tiles;
+    // Async field + parallel tiled deposit on another backend.
+    EXPECT_EQ(fieldSimulationHash<ParticleArrayAoS<double>>(
+                  Solver, "async-pipeline", 4, 2, 100, "serial", "openmp", 5),
+              Reference);
+    // The fully asynchronous five-stage loop vs the all-serial one.
+    EXPECT_EQ(fieldSimulationHash<ParticleArrayAoS<double>>(
+                  Solver, "async-pipeline", 4, 2, 100, "async-pipeline",
+                  "async-pipeline", 3),
+              Reference);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Discrete continuity under a parallel tiled deposit
 //===----------------------------------------------------------------------===//
 
