@@ -99,8 +99,11 @@ template <typename Real> Real paperTimeStep() {
 }
 
 /// The push-stage backend named by HICHI_BENCH_BACKEND, or \p Fallback.
+/// Values are whitespace-trimmed (getEnvTrimmed), so an `export` line
+/// with a stray space cannot silently fail the registry lookup; the
+/// precedence everywhere is CLI flag > environment > default.
 inline std::string envPushBackendName(const char *Fallback = "serial") {
-  return getEnvString("HICHI_BENCH_BACKEND").value_or(Fallback);
+  return getEnvTrimmed("HICHI_BENCH_BACKEND").value_or(Fallback);
 }
 
 /// The deposit-stage backend named by HICHI_BENCH_DEPOSIT_BACKEND,
@@ -108,7 +111,7 @@ inline std::string envPushBackendName(const char *Fallback = "serial") {
 /// the one push variable configures both PIC stages unless the deposit
 /// stage is overridden explicitly.
 inline std::string envDepositBackendName(const char *Fallback = "serial") {
-  if (auto V = getEnvString("HICHI_BENCH_DEPOSIT_BACKEND"))
+  if (auto V = getEnvTrimmed("HICHI_BENCH_DEPOSIT_BACKEND"))
     return *V;
   return envPushBackendName(Fallback);
 }
@@ -118,7 +121,7 @@ inline std::string envDepositBackendName(const char *Fallback = "serial") {
 /// deposit variable: one push variable configures every PIC stage unless
 /// a stage is overridden explicitly.
 inline std::string envFieldBackendName(const char *Fallback = "serial") {
-  if (auto V = getEnvString("HICHI_BENCH_FIELD_BACKEND"))
+  if (auto V = getEnvTrimmed("HICHI_BENCH_FIELD_BACKEND"))
     return *V;
   return envPushBackendName(Fallback);
 }
@@ -126,8 +129,17 @@ inline std::string envFieldBackendName(const char *Fallback = "serial") {
 /// True if a sweep bench should include \p Backend: HICHI_BENCH_BACKEND
 /// unset (full sweep) or naming exactly \p Backend (restricted run).
 inline bool envBackendSelected(const std::string &Backend) {
-  auto V = getEnvString("HICHI_BENCH_BACKEND");
+  auto V = getEnvTrimmed("HICHI_BENCH_BACKEND");
   return !V || *V == Backend;
+}
+
+/// The shard count named by HICHI_BENCH_SHARDS (restricts
+/// bench_pic_sharded's shard-count sweep to one point), or nullopt for
+/// the full sweep.
+inline std::optional<int> envShardCount() {
+  if (auto V = getEnvInt("HICHI_BENCH_SHARDS"))
+    return int(*V);
+  return std::nullopt;
 }
 
 /// \returns the backend named \p Name from the registry, or dies with a

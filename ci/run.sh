@@ -29,7 +29,10 @@ run_smoke_benches() {
   HICHI_BENCH_JSON=results/BENCH_pic_deposit.json ./build/bench_pic_deposit
   HICHI_BENCH_JSON=results/BENCH_pic_async.json ./build/bench_pic_async
   HICHI_BENCH_JSON=results/BENCH_pic_fields.json ./build/bench_pic_fields
-  for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline; do
+  # bench_pic_sharded fails by itself on any shard-count hash deviation
+  # and records the shard-scaling trend baseline (stage "step").
+  HICHI_BENCH_JSON=results/BENCH_pic_sharded.json ./build/bench_pic_sharded
+  for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline sharded; do
     ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
       --iterations 2 --json "results/BENCH_push_${RUNNER}.json" \
       | grep -E "NSPS|state hash"
@@ -43,7 +46,7 @@ run_smoke_benches
 # bitwise on the final particle state; --chain re-runs the dpcpp backend
 # through the event-chained submission shape.
 HASHES="$({
-  for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline; do
+  for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline sharded; do
     ./build/hichi_push --runner "$RUNNER" --particles 5000 --steps 5 \
       --iterations 1
   done
@@ -61,9 +64,15 @@ echo "runner equivalence: OK (all state hashes identical)"
 # the async-pipeline push path (the double-buffered precalc/push
 # pipeline) with several lane/chunk configurations.
 PIC_HASHES="$(
-  for B in serial openmp dpcpp dpcpp-numa async-pipeline; do
+  for B in serial openmp dpcpp dpcpp-numa async-pipeline sharded; do
     ./build/pic_langmuir --steps 40 --push-backend "$B" \
       --deposit-backend "$B" --deposit-tiles 5 \
+      | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  done
+  # The sharded whole-loop shape (all three stages on persistent shards,
+  # per-shard deposit chains) at two shard counts.
+  for SHARDS in 3 7; do
+    ./build/pic_langmuir --steps 40 --shards "$SHARDS" \
       | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
   done
   ./build/pic_langmuir --steps 40 --push-backend serial \
@@ -90,7 +99,7 @@ echo "PIC equivalence: OK (all state hashes identical, async pipeline included)"
 # uniqueness check runs per solver.
 for SOLVER in fdtd spectral; do
   FIELD_HASHES="$(
-    for B in serial openmp dpcpp dpcpp-numa async-pipeline; do
+    for B in serial openmp dpcpp dpcpp-numa async-pipeline sharded; do
       ./build/pic_langmuir --steps 40 --solver "$SOLVER" \
         --field-backend "$B" --field-tiles 5 \
         | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
@@ -155,8 +164,15 @@ fi
 # a shared CI host passes the second measurement, a real regression
 # fails both. Skip with HICHI_TREND_SKIP=1 (e.g. when benchmarking on a
 # loaded host); tune with HICHI_TREND_THRESHOLD.
-if command -v python3 >/dev/null 2>&1 && \
-   [ "${HICHI_TREND_SKIP:-0}" != "1" ]; then
+# HICHI_TREND_SKIP accepts the uniform boolean grammar
+# (0/1/true/false/on/off/yes/no, case-insensitive).
+TREND_SKIP="$(echo "${HICHI_TREND_SKIP:-0}" | tr '[:upper:]' '[:lower:]' \
+              | tr -d '[:space:]')"
+case "$TREND_SKIP" in
+  1|true|on|yes) TREND_SKIP=1 ;;
+  *) TREND_SKIP=0 ;;
+esac
+if command -v python3 >/dev/null 2>&1 && [ "$TREND_SKIP" != "1" ]; then
   TREND="python3 tools/bench_trend.py --results results \
     --baseline results/baseline --threshold ${HICHI_TREND_THRESHOLD:-0.15}"
   # --update only takes effect after a passing comparison, so one

@@ -62,6 +62,12 @@ int main(int Argc, char **Argv) {
                  "spectral (0 = auto)",
                  "0");
   Args.addOption("solver", "Maxwell solver: fdtd or spectral", "fdtd");
+  Args.addOption("shards",
+                 "partition the run into this many persistent shards: every "
+                 "stage whose backend flag was not given explicitly runs on "
+                 "the sharded backend with this shard count (0 = off; "
+                 "explicit --*-backend flags win)",
+                 "0");
   Args.addOption("steps", "time steps to run (0 = two plasma periods)", "0");
   Args.addFlag("list-runners", "list registered execution backends and exit");
   if (!Args.parse(Argc, Argv)) {
@@ -106,6 +112,27 @@ int main(int Argc, char **Argv) {
   Options.FieldBackend = Args.getString("field-backend");
   Options.FieldThreads = int(Args.getInt("field-threads").value_or(0));
   Options.FieldTiles = int(Args.getInt("field-tiles").value_or(0));
+  // --shards routes every stage not explicitly configured onto the
+  // sharded backend, then sets the shard count of every stage that ends
+  // up sharded — including one the user spelled out redundantly with
+  // --push-backend sharded. Explicit flags always win (CLI flag > env >
+  // default): a stage's explicit backend choice is never overridden,
+  // and an explicit thread-count flag beats the shard count.
+  const int Shards = int(Args.getInt("shards").value_or(0));
+  if (Shards > 0) {
+    if (!Args.seen("push-backend"))
+      Options.PushBackend = "sharded";
+    if (!Args.seen("deposit-backend"))
+      Options.DepositBackend = "sharded";
+    if (!Args.seen("field-backend"))
+      Options.FieldBackend = "sharded";
+    if (Options.PushBackend == "sharded" && !Args.seen("threads"))
+      Options.PushThreads = Shards;
+    if (Options.DepositBackend == "sharded" && !Args.seen("deposit-threads"))
+      Options.DepositThreads = Shards;
+    if (Options.FieldBackend == "sharded" && !Args.seen("field-threads"))
+      Options.FieldThreads = Shards;
+  }
   const std::string SolverName = Args.getString("solver");
   if (SolverName == "spectral") {
     Options.Solver = FieldSolverKind::Spectral;
@@ -194,6 +221,18 @@ int main(int Argc, char **Argv) {
                 Sim.pipelineChunkCount(), Sim.pushBackend().concurrency(),
                 P.PrecalcNs / 1e6, P.PushNs / 1e6,
                 100.0 * P.overlapEfficiency());
+  }
+  const std::vector<exec::ShardStat> ShardStats = Sim.shardStats();
+  if (!ShardStats.empty()) {
+    std::printf("  sharded execution: %zu shards, item imbalance %.2fx "
+                "(max over mean)\n",
+                ShardStats.size(), exec::shardImbalance(ShardStats));
+    for (std::size_t S = 0; S < ShardStats.size(); ++S)
+      std::printf("    shard %zu: %lld launches, %lld items, %.2f ms busy "
+                  "(occupancy %.0f%%)\n",
+                  S, ShardStats[S].Launches, ShardStats[S].Items,
+                  ShardStats[S].BusyNs / 1e6,
+                  100.0 * exec::shardOccupancy(ShardStats, S));
   }
   std::printf("deposit stage ran on '%s' (%d tiles): %.2f ms total\n",
               Sim.depositBackend().name(), Sim.depositTileCount(),

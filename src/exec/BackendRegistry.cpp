@@ -8,6 +8,7 @@
 
 #include "exec/AsyncPipeline.h"
 #include "exec/Backends.h"
+#include "exec/ShardedBackend.h"
 
 using namespace hichi::exec;
 
@@ -36,6 +37,12 @@ BackendRegistry::BackendRegistry() {
                   "submit; overlaps PIC field precalc with the push)",
                   [](const BackendConfig &C) {
                     return std::make_unique<AsyncPipelineBackend>(C);
+                  });
+  registerBackend("sharded",
+                  "persistent shards with per-shard FIFO lanes and "
+                  "first-touched arenas (threads = shard count)",
+                  [](const BackendConfig &C) {
+                    return std::make_unique<ShardedBackend>(C);
                   });
 }
 

@@ -169,6 +169,14 @@ struct LaunchSpec {
   /// block).
   Index GrainHint = 0;
 
+  /// Shard-affinity hint: >= 0 routes the *whole* launch to that shard's
+  /// FIFO lane on sharded backends (modulo the shard count), so a driver
+  /// that partitioned its data per shard can keep submitting each
+  /// shard's work to its owning lane without any cross-shard barrier.
+  /// -1 (the default) lets a sharded backend partition [0, Items) across
+  /// its shards itself; backends without shards ignore the hint.
+  int ShardAffinity = -1;
+
   /// Events this launch must not start before. Every backend honours the
   /// list (synchronous ones wait inline at submit); each listed event
   /// must belong to a launch submitted earlier, else deadlock. Complete
@@ -210,6 +218,13 @@ public:
   /// Pipelined callers size their chunking from it.
   virtual int concurrency() const { return 1; }
 
+  /// Number of persistent shards this backend partitions work into, or
+  /// 0 for non-sharded backends. Drivers that can route per-shard work
+  /// (LaunchSpec::ShardAffinity) or split reductions into per-shard
+  /// chains key off this (pic/PicSimulation.h,
+  /// pic/TiledCurrentAccumulator.h).
+  virtual int shardCount() const { return 0; }
+
   /// Enqueues \p Kernel over \p Spec (after Spec.DependsOn) and returns
   /// the launch's completion event. Timing accumulates into \p Stats no
   /// later than the returned event completes; read \p Stats only after
@@ -246,7 +261,7 @@ ExecEvent submitKeptLaunch(ExecutionBackend &Backend,
                            const ExecutionContext &Ctx, RunStats &Stats,
                            Index Items, Index GrainHint, BlockFn Block,
                            const std::vector<ExecEvent> &DependsOn,
-                           KernelKeepAlive &Keep) {
+                           KernelKeepAlive &Keep, int ShardAffinity = -1) {
   auto Body = std::make_shared<BlockFn>(std::move(Block));
   Keep.push_back(Body);
   LaunchSpec Spec;
@@ -254,9 +269,24 @@ ExecEvent submitKeptLaunch(ExecutionBackend &Backend,
   Spec.StepBegin = 0;
   Spec.StepEnd = 1;
   Spec.GrainHint = GrainHint;
+  Spec.ShardAffinity = ShardAffinity;
   Spec.DependsOn = DependsOn;
   return Backend.submit(Spec, StepKernel(*Body, kernelIdentity<BlockFn>()),
                         Ctx, Stats);
+}
+
+/// Submits an empty ordering-only launch that depends on every event in
+/// \p DependsOn and \returns its completion event — a join handle that
+/// completes once all listed events have. Drivers that fan a stage out
+/// into per-shard chains use it to hand one event to downstream
+/// consumers (the deposit's per-shard reduce chains hand the field solve
+/// a single JReady this way).
+inline ExecEvent submitJoin(ExecutionBackend &Backend,
+                            const ExecutionContext &Ctx, RunStats &Stats,
+                            const std::vector<ExecEvent> &DependsOn,
+                            KernelKeepAlive &Keep) {
+  return submitKeptLaunch(Backend, Ctx, Stats, /*Items=*/0, /*GrainHint=*/0,
+                          [](Index, Index, int, int) {}, DependsOn, Keep);
 }
 
 } // namespace exec

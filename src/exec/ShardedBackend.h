@@ -1,0 +1,186 @@
+//===-- exec/ShardedBackend.h - Persistent-shard backend -------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "sharded" execution backend: the item space is partitioned once
+/// into K *persistent shards*, each owning
+///
+///   * a pinned worker — one dedicated thread (best-effort core-bound,
+///     like the thread pool's workers) draining
+///   * a FIFO lane — a single-worker threading::InOrderWorkQueue, so
+///     everything routed to one shard executes in submission order
+///     without any cross-shard synchronization, and
+///   * a first-touched arena — an aligned buffer whose pages are
+///     touched by the owning worker before any kernel uses them, so
+///     under Linux's first-touch policy the shard's staging data lands
+///     in the worker's NUMA domain (the paper's Section 4.3 arena idea
+///     carried from per-launch scheduling to persistent residency).
+///
+/// This is the paper's data-locality thesis taken one step further than
+/// the per-launch NUMA split of dpcpp-numa: work does not merely *run*
+/// inside a domain for one launch — the same shard processes the same
+/// item slice every step, keeping its pages, its queue and its arena
+/// resident. It is also the stepping stone to multi-process/multi-node
+/// execution: a shard's lane + arena is exactly the seam a process
+/// boundary would cut along.
+///
+/// Submission model (genuinely asynchronous — submit() returns before
+/// execution):
+///
+///   * LaunchSpec::ShardAffinity >= 0 routes the whole launch to that
+///     shard's lane (modulo K). Affinity-routed chains on one shard
+///     need no events at all — the lane's FIFO order *is* the chain —
+///     though dependencies are honoured anyway.
+///   * Without affinity, [0, Items) is split into contiguous blocks by
+///     the shared slab partition (exec/SlabPartition.h — the same split
+///     the deposit tiles and FDTD slabs use, so shard s always receives
+///     the same tiles/planes/particles every step) and one block task is
+///     pushed per shard; the returned event completes when the last
+///     block retires.
+///
+/// Determinism: a block kernel is order-independent across items
+/// (the ExecutionBackend contract), every item is visited exactly once
+/// with steps ascending, and each block replays its items in ascending
+/// order on one thread — so results are bit-identical to the serial
+/// backend by construction, for every shard count. Cross-shard
+/// reductions built on top (the deposit's per-shard accumulate→reduce
+/// chains) stay bit-identical by the same disjoint-ownership argument
+/// as TiledCurrentAccumulator.
+///
+/// Progress guarantee: lanes pop FIFO and dependencies point at earlier
+/// submissions (the exec layer's contract), so the earliest unfinished
+/// launch always has its blocks at the head of their lanes with all
+/// dependencies complete — no deadlock for any shard count, affinity
+/// pattern or dependency chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_EXEC_SHARDEDBACKEND_H
+#define HICHI_EXEC_SHARDEDBACKEND_H
+
+#include "exec/ExecutionBackend.h"
+#include "threading/WorkQueue.h"
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hichi {
+namespace exec {
+
+/// Lifetime counters of one shard, for occupancy/imbalance diagnostics
+/// (PicSimulation::shardStats(), pic_langmuir --shards,
+/// bench_pic_sharded).
+struct ShardStat {
+  long long Launches = 0; ///< block tasks executed (incl. empty blocks)
+  long long Items = 0;    ///< items processed across all launches
+  double BusyNs = 0;      ///< kernel busy time on this shard's worker
+};
+
+/// Max-over-mean processed items across shards: 1.0 = perfectly
+/// balanced, 2.0 = the busiest shard carried twice the average. 0 when
+/// nothing ran.
+inline double shardImbalance(const std::vector<ShardStat> &Stats) {
+  long long Total = 0, Max = 0;
+  for (const ShardStat &S : Stats) {
+    Total += S.Items;
+    Max = S.Items > Max ? S.Items : Max;
+  }
+  if (Total <= 0 || Stats.empty())
+    return 0.0;
+  return double(Max) * double(Stats.size()) / double(Total);
+}
+
+/// Busy-time occupancy of shard \p S relative to the busiest shard
+/// (1.0 = as busy as the bottleneck shard).
+inline double shardOccupancy(const std::vector<ShardStat> &Stats,
+                             std::size_t S) {
+  double Max = 0;
+  for (const ShardStat &Stat : Stats)
+    Max = Stat.BusyNs > Max ? Stat.BusyNs : Max;
+  if (S >= Stats.size() || Max <= 0)
+    return 0.0;
+  return Stats[S].BusyNs / Max;
+}
+
+/// Persistent-shard execution backend ("sharded" in the registry).
+class ShardedBackend final : public ExecutionBackend {
+public:
+  /// \p Config.Threads is the shard count (0 = the default of 4; capped
+  /// at 64). Lane threads are created lazily on first use, so idle
+  /// sharded backends (e.g. a PIC stage configured but never launched)
+  /// cost nothing.
+  explicit ShardedBackend(const BackendConfig &Config);
+  ~ShardedBackend() override;
+
+  ShardedBackend(const ShardedBackend &) = delete;
+  ShardedBackend &operator=(const ShardedBackend &) = delete;
+
+  const char *name() const override { return "sharded"; }
+  bool isAsynchronous() const override { return true; }
+  int concurrency() const override { return int(Shards.size()); }
+  int shardCount() const override { return int(Shards.size()); }
+
+  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
+                   const ExecutionContext &Ctx, RunStats &Stats) override;
+
+  /// Blocks until every launch submitted so far has completed on every
+  /// shard, then releases retired arena buffers. Host-side only (the
+  /// destructor drains implicitly).
+  void drain();
+
+  /// \returns shard \p Shard's arena, grown to at least \p Bytes
+  /// (cache-line aligned; geometric growth, so the pointer is stable
+  /// until a larger request). On growth the new buffer is first-touched
+  /// by the owning worker *before* any later-submitted task on that
+  /// shard runs (FIFO order); a replaced buffer stays alive until the
+  /// next drain(), so launches still in flight keep a valid pointer.
+  /// Call from the submitting host thread only.
+  void *shardArena(int Shard, std::size_t Bytes);
+
+  /// Snapshot of every shard's lifetime counters, in shard order.
+  std::vector<ShardStat> shardStats() const;
+
+private:
+  /// One unit of lane work: the pre-bound task body, the launch's
+  /// completion event and, for partitioned launches, the shared
+  /// count-down of blocks still outstanding (the last block signals).
+  struct Task {
+    std::function<void()> Run;
+    ExecEvent Done; ///< default-constructed for internal (arena) tasks
+    std::shared_ptr<std::atomic<int>> Remaining; ///< null = sole block
+  };
+
+  struct Shard {
+    std::unique_ptr<threading::InOrderWorkQueue<Task>> Lane;
+    void *ArenaData = nullptr;
+    std::size_t ArenaBytes = 0;
+    std::vector<void *> RetiredArenas; ///< freed at the next drain
+    ShardStat Stats;                   ///< guarded by StatsMutex
+    bool WorkerBound = false;          ///< lane-thread-local pin flag
+  };
+
+  /// Enqueues one block [Begin, End) of \p Spec on shard \p S.
+  void pushBlock(int S, const LaunchSpec &Spec, const StepKernel &Kernel,
+                 Index Begin, Index End, RunStats &Stats, ExecEvent Done,
+                 std::shared_ptr<std::atomic<int>> Remaining);
+
+  void runWorkerTask(int S, Task &T);
+
+  std::vector<Shard> Shards;
+
+  /// Serializes RunStats and ShardStat accumulation: several shards may
+  /// retire blocks of launches that share one Stats object.
+  mutable std::mutex StatsMutex;
+};
+
+} // namespace exec
+} // namespace hichi
+
+#endif // HICHI_EXEC_SHARDEDBACKEND_H

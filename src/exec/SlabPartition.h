@@ -1,0 +1,72 @@
+//===-- exec/SlabPartition.h - Shared 1-D slab partitioning ----*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one slab-partition/clamp helper every 1-D decomposition in the
+/// tree uses: the deposition's current tiles
+/// (pic/TiledCurrentAccumulator.h), the FDTD solver's x-slabs
+/// (pic/FdtdSolver.h) and the sharded backend's per-shard item blocks
+/// (exec/ShardedBackend.h). They used to carry private copies of the
+/// same clamp + even-split arithmetic, which is exactly the kind of
+/// duplication that drifts: a degenerate input (zero extent, negative
+/// request) handled in one copy but not another silently breaks the
+/// "deposit tiles and field slabs split identically" invariant the
+/// cross-stage determinism tests rely on.
+///
+/// The split is the OpenMP schedule(static) block mapping
+/// (threading::staticBlock over [0, Items)): the first Items % Count
+/// slabs own one extra item, so for the same (Items, Count) every
+/// consumer produces byte-identical ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_EXEC_SLABPARTITION_H
+#define HICHI_EXEC_SLABPARTITION_H
+
+#include "support/Config.h"
+
+namespace hichi {
+namespace exec {
+
+/// Clamps a requested slab count to what \p Items can support. Every
+/// degenerate case collapses to one slab instead of tripping later
+/// arithmetic: zero or negative requests (the historic "0 = auto"
+/// spelling), Items <= 1 (a single plane / item cannot split), and
+/// Items <= 0 (an empty range still partitions — into one empty slab —
+/// rather than dividing by zero). Otherwise the count is at most Items,
+/// so every slab owns at least one item.
+inline Index clampSlabCount(Index Items, Index Requested) {
+  if (Items <= 1 || Requested <= 1)
+    return 1;
+  return Requested < Items ? Requested : Items;
+}
+
+/// One slab's half-open item range.
+struct SlabRange {
+  Index Begin = 0;
+  Index End = 0;
+
+  Index size() const { return End - Begin; }
+  bool empty() const { return End <= Begin; }
+};
+
+/// \returns the range of slab \p Slab when [0, Items) is split into
+/// \p Count slabs as evenly as possible (the first Items % Count slabs
+/// get one extra item). \p Count must come from clampSlabCount for the
+/// same \p Items; ranges tile [0, Items) contiguously in slab order.
+inline SlabRange slabRange(Index Items, Index Count, Index Slab) {
+  if (Items <= 0)
+    return {0, 0};
+  const Index Base = Items / Count;
+  const Index Extra = Items % Count;
+  const Index Begin = Slab * Base + (Slab < Extra ? Slab : Extra);
+  return {Begin, Begin + Base + (Slab < Extra ? 1 : 0)};
+}
+
+} // namespace exec
+} // namespace hichi
+
+#endif // HICHI_EXEC_SLABPARTITION_H

@@ -62,7 +62,7 @@ device minisycl::gpu_device_iris_xe_max() {
 }
 
 device minisycl::default_device() {
-  if (auto Choice = hichi::getEnvString("MINISYCL_DEVICE")) {
+  if (auto Choice = hichi::getEnvTrimmed("MINISYCL_DEVICE")) {
     if (*Choice == "cpu")
       return cpu_device();
     if (*Choice == "p630")

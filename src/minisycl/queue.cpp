@@ -31,8 +31,11 @@ queue::queue(const device &Dev) : Dev(Dev) {
   }
   if (auto Threads = hichi::getEnvInt("MINISYCL_NUM_THREADS"))
     set_thread_count(int(*Threads));
-  if (auto Async = hichi::getEnvInt("MINISYCL_ASYNC_SUBMIT"))
-    AsyncMode = *Async != 0;
+  // Boolean spellings (0/1/true/false/on/off, whitespace-trimmed) parse
+  // uniformly with every other boolean knob; the historic getEnvInt
+  // parse silently ignored "false"-style overrides.
+  if (auto Async = hichi::getEnvBool("MINISYCL_ASYNC_SUBMIT"))
+    AsyncMode = *Async;
 }
 
 queue::~queue() = default; // the device queue drains + joins itself

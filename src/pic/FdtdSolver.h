@@ -47,6 +47,7 @@
 #define HICHI_PIC_FDTDSOLVER_H
 
 #include "exec/ExecutionBackend.h"
+#include "exec/SlabPartition.h"
 #include "pic/YeeGrid.h"
 #include "support/Constants.h"
 
@@ -72,19 +73,21 @@ public:
   };
 
   /// Partitions the \p Size.Nx x-planes into \p RequestedTiles slabs
-  /// (clamped to [1, Nx]), split as evenly as the deposition's tiles.
+  /// via the shared slab helper (exec/SlabPartition.h) — clamped to
+  /// [1, Nx] with every degenerate request (zero, negative, > Nx,
+  /// Nx == 1) collapsing exactly as the deposition's tiles do, so the
+  /// two stages can never drift apart.
   FdtdSlabPartition(GridSize Size, int RequestedTiles) : Size(Size) {
-    const Index NumTiles = std::min<Index>(
-        std::max<Index>(1, Index(RequestedTiles)), Size.Nx);
+    const Index NumTiles =
+        exec::clampSlabCount(Size.Nx, Index(RequestedTiles));
     const std::size_t PlaneElems =
         std::size_t(Size.Ny) * std::size_t(Size.Nz);
     Slabs.resize(std::size_t(NumTiles));
-    const Index Base = Size.Nx / NumTiles;
-    const Index Extra = Size.Nx % NumTiles;
     for (Index T = 0; T < NumTiles; ++T) {
       Slab &S = Slabs[std::size_t(T)];
-      S.PlaneBegin = T * Base + std::min(T, Extra);
-      S.PlaneEnd = S.PlaneBegin + Base + (T < Extra ? 1 : 0);
+      const exec::SlabRange R = exec::slabRange(Size.Nx, NumTiles, T);
+      S.PlaneBegin = R.Begin;
+      S.PlaneEnd = R.End;
       S.HaloEy.assign(PlaneElems, Real(0));
       S.HaloEz.assign(PlaneElems, Real(0));
       S.HaloBy.assign(PlaneElems, Real(0));

@@ -49,6 +49,8 @@
 
 #include "core/Core.h"
 #include "exec/BackendRegistry.h"
+#include "exec/ShardedBackend.h"
+#include "exec/SlabPartition.h"
 #include "pic/CurrentDeposition.h"
 #include "pic/FdtdSolver.h"
 #include "pic/FieldInterpolator.h"
@@ -236,7 +238,14 @@ public:
     const Real Time = CurrentTime;
     exec::ExecutionContext Ctx;
     Ctx.Queue = Queue.get();
-    if (Backend->isAsynchronous() && N > 0) {
+    if (PushSharded() && N > 0) {
+      // Sharded backend: the ensemble is partitioned once into the
+      // backend's persistent shards; each shard precalcs its slice into
+      // its own first-touched arena and pushes it on its own lane,
+      // routed by shard affinity (same per-particle operation sequence
+      // as the fused serial kernel, hence the same bits).
+      shardedInterpPush(View, Interp, OldPos, TypesPtr, Dt, C, N, Time, Ctx);
+    } else if (Backend->isAsynchronous() && N > 0) {
       // Asynchronous backend: the double-buffered precalc/push pipeline
       // (same per-particle operation sequence, hence the same bits).
       pipelinedInterpPush(View, Interp, OldPos, TypesPtr, Dt, C, N, Time,
@@ -390,8 +399,41 @@ public:
   const RunStats &fieldStats() const { return FieldTiming; }
 
   /// True if stage 1 runs as the double-buffered precalc/push pipeline
-  /// (the push backend is asynchronous).
-  bool usesAsyncPipeline() const { return Backend->isAsynchronous(); }
+  /// (the push backend is asynchronous and not sharded — the sharded
+  /// backend runs stage 1 as per-shard affinity-routed launches
+  /// instead).
+  bool usesAsyncPipeline() const {
+    return Backend->isAsynchronous() && !PushSharded();
+  }
+
+  /// Per-shard occupancy counters aggregated over *every* stage backend
+  /// that is sharded (push, deposit and field solve own separate
+  /// backend instances; shard i's counters sum element-wise across the
+  /// sharded ones, sized to the largest shard count) — so the numbers
+  /// describe the whole run, not just one stage. Empty when no stage
+  /// runs on the sharded backend. Pair with exec::shardImbalance /
+  /// exec::shardOccupancy for the derived diagnostics.
+  std::vector<exec::ShardStat> shardStats() const {
+    std::vector<exec::ShardStat> Total;
+    for (const exec::ExecutionBackend *B :
+         {Backend.get(), DepositExec.get(), FieldExec.get()}) {
+      const auto *Sharded = dynamic_cast<const exec::ShardedBackend *>(B);
+      if (!Sharded)
+        continue;
+      const std::vector<exec::ShardStat> Stage = Sharded->shardStats();
+      if (Stage.size() > Total.size())
+        Total.resize(Stage.size());
+      for (std::size_t S = 0; S < Stage.size(); ++S) {
+        Total[S].Launches += Stage[S].Launches;
+        Total[S].Items += Stage[S].Items;
+        Total[S].BusyNs += Stage[S].BusyNs;
+      }
+    }
+    return Total;
+  }
+
+  /// Shards of the push backend (0 when it is not sharded).
+  int shardCount() const { return Backend->shardCount(); }
 
   /// Accumulated pipeline timing (all zeros unless usesAsyncPipeline()).
   const PicPipelineStats &pipelineStats() const { return PipelineTiming; }
@@ -525,6 +567,86 @@ private:
     PipelineTiming.PrecalcNs = PrecalcKernelTiming.HostNs;
     PipelineTiming.PushNs = PushKernelTiming.HostNs;
   }
+  /// The push backend as a ShardedBackend, or nullptr. (shardCount() is
+  /// the cheap capability query; the concrete type is needed for the
+  /// per-shard arenas.)
+  exec::ShardedBackend *PushSharded() const {
+    return Backend->shardCount() > 0
+               ? dynamic_cast<exec::ShardedBackend *>(Backend.get())
+               : nullptr;
+  }
+
+  /// Stage 1 on the sharded backend: the ensemble splits once into the
+  /// backend's persistent shards (the shared slab partition, so shard s
+  /// owns the same particle slice every step). Each shard runs a
+  /// precalc launch (field samples into the shard's first-touched
+  /// arena, old positions stashed) chained to a push launch consuming
+  /// them, both routed to the shard's lane by affinity — so shards
+  /// proceed independently, with no cross-shard barrier until the final
+  /// wait. The sample-buffer round-trip is bitwise exact and every
+  /// particle replays the fused kernel's exact operation sequence, so
+  /// the result is bit-identical to the serial stage for every shard
+  /// count (tests/pic/ShardEquivalenceTest.cpp).
+  void shardedInterpPush(const ViewT &View,
+                         const YeeInterpolator<Real> &Interp,
+                         Vector3<Real> *OldPos,
+                         const ParticleTypeInfo<Real> *TypesPtr, Real Dt,
+                         Real C, Index N, Real Time,
+                         const exec::ExecutionContext &Ctx) {
+    exec::ShardedBackend *Sharded = PushSharded();
+    const Index Blocks =
+        exec::clampSlabCount(N, Index(Sharded->shardCount()));
+
+    // Kernel bodies live here (reserved, stable addresses) until every
+    // event below is waited — the asynchronous lifetime contract.
+    std::vector<PipelinePrecalcBody> PrecalcBodies;
+    std::vector<PipelinePushBody> PushBodies;
+    std::vector<exec::ExecEvent> PushEvents;
+    PrecalcBodies.reserve(std::size_t(Blocks));
+    PushBodies.reserve(std::size_t(Blocks));
+    PushEvents.reserve(std::size_t(Blocks));
+
+    Stopwatch Wall;
+    for (Index S = 0; S < Blocks; ++S) {
+      const exec::SlabRange R = exec::slabRange(N, Blocks, S);
+      auto *Buf = static_cast<FieldSample<Real> *>(Sharded->shardArena(
+          int(S), sizeof(FieldSample<Real>) * std::size_t(R.size())));
+
+      PrecalcBodies.push_back(
+          PipelinePrecalcBody{View, Interp, OldPos, Buf, R.Begin, Time});
+      exec::LaunchSpec PrecalcSpec;
+      PrecalcSpec.Items = R.size();
+      PrecalcSpec.StepBegin = Steps;
+      PrecalcSpec.StepEnd = Steps + 1;
+      PrecalcSpec.ShardAffinity = int(S);
+      const exec::ExecEvent Sampled = Sharded->submit(
+          PrecalcSpec,
+          exec::StepKernel(PrecalcBodies.back(),
+                           exec::kernelIdentity<PipelinePrecalcBody>()),
+          Ctx, PrecalcKernelTiming);
+
+      PushBodies.push_back(
+          PipelinePushBody{View, Buf, TypesPtr, R.Begin, Dt, C});
+      exec::LaunchSpec PushSpec;
+      PushSpec.Items = R.size();
+      PushSpec.StepBegin = Steps;
+      PushSpec.StepEnd = Steps + 1;
+      PushSpec.ShardAffinity = int(S);
+      PushSpec.DependsOn.push_back(Sampled);
+      PushEvents.push_back(Sharded->submit(
+          PushSpec,
+          exec::StepKernel(PushBodies.back(),
+                           exec::kernelIdentity<PipelinePushBody>()),
+          Ctx, PushKernelTiming));
+    }
+    for (const exec::ExecEvent &Ev : PushEvents)
+      Ev.wait();
+
+    const double WallNs = double(Wall.elapsedNanoseconds());
+    PushTiming.HostNs += WallNs; // stage-1 stats stay wall-clock true
+    PushTiming.ModeledNs += WallNs;
+  }
+
   /// The pipeline chunk size for an ensemble of \p N: ceil(N / R) where
   /// R is the requested chunk count — the explicit option, or two
   /// chunks per lane (enough to keep every lane busy while the double
@@ -542,9 +664,10 @@ private:
 
   /// The tile-count heuristic shared by the deposit and field stages:
   /// the explicit option, or 1 for the serial backend (the classic
-  /// whole-grid pass, zero tiling overhead), else two tiles per worker
-  /// so dynamic backends can balance uneven work (the tile partitions
-  /// additionally clamp to the grid's Nx).
+  /// whole-grid pass, zero tiling overhead), two tiles per shard for
+  /// sharded backends (the shard count is the real parallel width), else
+  /// two tiles per worker so dynamic backends can balance uneven work
+  /// (the tile partitions additionally clamp to the grid's Nx).
   static int resolveStageTiles(int ExplicitTiles,
                                const exec::ExecutionBackend &Exec,
                                int Threads) {
@@ -552,6 +675,8 @@ private:
       return ExplicitTiles;
     if (std::string(Exec.name()) == "serial")
       return 1;
+    if (Exec.shardCount() > 0)
+      return 2 * Exec.shardCount();
     const int Workers =
         Threads > 0 ? Threads : int(std::thread::hardware_concurrency());
     return 2 * std::max(1, Workers);

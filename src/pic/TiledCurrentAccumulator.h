@@ -42,6 +42,7 @@
 
 #include "core/ParticleTypes.h"
 #include "exec/ExecutionBackend.h"
+#include "exec/SlabPartition.h"
 #include "pic/CurrentDeposition.h"
 #include "pic/YeeGrid.h"
 
@@ -118,24 +119,24 @@ private:
 template <typename Real> class TiledCurrentAccumulator {
 public:
   /// Partitions the \p Size.Nx x-planes into \p RequestedTiles slabs
-  /// (clamped to [1, Nx]), split as evenly as staticBlock splits particle
-  /// ranges. One tile means the classic serial scatter with no private
-  /// slabs at all.
+  /// via the shared slab helper (exec/SlabPartition.h — the identical
+  /// clamp and even split the FDTD partition and the sharded backend
+  /// use, degenerate requests included). One tile means the classic
+  /// serial scatter with no private slabs at all.
   TiledCurrentAccumulator(GridSize Size, Vector3<Real> Origin,
                           Vector3<Real> Step, int RequestedTiles)
       : Size(Size), Origin(Origin), Step(Step) {
-    const Index NumTiles = std::min<Index>(
-        std::max<Index>(1, Index(RequestedTiles)), Size.Nx);
+    const Index NumTiles =
+        exec::clampSlabCount(Size.Nx, Index(RequestedTiles));
     Tiles.resize(std::size_t(NumTiles));
     OwnerOfPlane.resize(std::size_t(Size.Nx));
     const std::size_t PlaneElems =
         std::size_t(Size.Ny) * std::size_t(Size.Nz);
-    const Index Base = Size.Nx / NumTiles;
-    const Index Extra = Size.Nx % NumTiles;
     for (Index T = 0; T < NumTiles; ++T) {
       Tile &Slab = Tiles[std::size_t(T)];
-      Slab.PlaneBegin = T * Base + std::min(T, Extra);
-      Slab.PlaneEnd = Slab.PlaneBegin + Base + (T < Extra ? 1 : 0);
+      const exec::SlabRange R = exec::slabRange(Size.Nx, NumTiles, T);
+      Slab.PlaneBegin = R.Begin;
+      Slab.PlaneEnd = R.End;
       for (Index P = Slab.PlaneBegin; P < Slab.PlaneEnd; ++P)
         OwnerOfPlane[std::size_t(P)] = int(T);
       if (NumTiles > 1) {
@@ -205,6 +206,8 @@ public:
 
     // Phase 2 — per-tile private accumulation. Tiles own disjoint plane
     // ranges, so any backend may run them in any order concurrently.
+    // (The lambda takes absolute tile indices, so the full-launch and
+    // per-shard submission shapes below share one body.)
     Tile *TilesPtr = Tiles.data();
     const GridSize Sz = Size;
     auto Accumulate = [=](Index Begin, Index End, int, int) {
@@ -223,9 +226,6 @@ public:
                           Dt, ChargeConserving);
       }
     };
-    const exec::ExecEvent Accumulated = submitOverTiles(
-        Backend, Ctx, Stats, Index(tileCount()), std::move(Accumulate), {},
-        Keep);
 
     // Phase 3 — reduction into the grid, ascending tile order within each
     // block. Owned plane ranges are disjoint and plane-contiguous in the
@@ -250,6 +250,45 @@ public:
         }
       }
     };
+
+    // Sharded backend: per-shard accumulate→reduce chains instead of a
+    // global barrier between the phases. Each shard owns a contiguous
+    // tile group (the shared slab split, so shard s gets the same tiles
+    // every step); its reduce waits only its *own* accumulate — legal
+    // because a group's reduction touches exactly its own tiles' plane
+    // ranges, disjoint from every other group's. The returned join
+    // event completes when every shard's reduce has, and the result is
+    // bit-identical by the same disjoint-ownership argument as the
+    // barriered shape (each tile's fold and reduction are unchanged).
+    if (const int ShardsK = Backend.shardCount();
+        ShardsK > 1 && tileCount() > 1) {
+      const Index NumTiles = Index(tileCount());
+      const Index Groups = exec::clampSlabCount(NumTiles, Index(ShardsK));
+      std::vector<exec::ExecEvent> Reduced;
+      Reduced.reserve(std::size_t(Groups));
+      for (Index G = 0; G < Groups; ++G) {
+        const exec::SlabRange R = exec::slabRange(NumTiles, Groups, G);
+        const Index Tile0 = R.Begin;
+        auto AccumulateGroup = [=](Index Begin, Index End, int S0, int S1) {
+          Accumulate(Tile0 + Begin, Tile0 + End, S0, S1);
+        };
+        auto ReduceGroup = [=](Index Begin, Index End, int S0, int S1) {
+          Reduce(Tile0 + Begin, Tile0 + End, S0, S1);
+        };
+        const exec::ExecEvent Accumulated = exec::submitKeptLaunch(
+            Backend, Ctx, Stats, R.size(), /*GrainHint=*/1,
+            std::move(AccumulateGroup), {}, Keep, /*ShardAffinity=*/int(G));
+        Reduced.push_back(exec::submitKeptLaunch(
+            Backend, Ctx, Stats, R.size(), /*GrainHint=*/1,
+            std::move(ReduceGroup), {Accumulated}, Keep,
+            /*ShardAffinity=*/int(G)));
+      }
+      return exec::submitJoin(Backend, Ctx, Stats, Reduced, Keep);
+    }
+
+    const exec::ExecEvent Accumulated = submitOverTiles(
+        Backend, Ctx, Stats, Index(tileCount()), std::move(Accumulate), {},
+        Keep);
     return submitOverTiles(Backend, Ctx, Stats, Index(tileCount()),
                            std::move(Reduce), {Accumulated}, Keep);
   }

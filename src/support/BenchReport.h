@@ -127,7 +127,7 @@ public:
   /// Writes to the file named by the HICHI_BENCH_JSON environment
   /// variable, if set; prints where the report went.
   void writeEnvRequested() const {
-    auto Path = getEnvString("HICHI_BENCH_JSON");
+    auto Path = getEnvTrimmed("HICHI_BENCH_JSON");
     if (!Path || empty())
       return;
     if (writeFile(*Path))

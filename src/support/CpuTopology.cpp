@@ -14,7 +14,7 @@
 using namespace hichi;
 
 CpuTopology CpuTopology::detect() {
-  if (auto Spec = getEnvString("HICHI_TOPOLOGY")) {
+  if (auto Spec = getEnvTrimmed("HICHI_TOPOLOGY")) {
     int Domains = 0, Cores = 0;
     if (std::sscanf(Spec->c_str(), "%dx%d", &Domains, &Cores) == 2 &&
         Domains > 0 && Cores > 0)

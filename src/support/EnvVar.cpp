@@ -6,10 +6,23 @@
 
 #include "support/EnvVar.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 
 using namespace hichi;
+
+namespace {
+
+std::string trimmed(const std::string &S) {
+  const auto NotSpace = [](unsigned char C) { return !std::isspace(C); };
+  const auto First = std::find_if(S.begin(), S.end(), NotSpace);
+  const auto Last = std::find_if(S.rbegin(), S.rend(), NotSpace).base();
+  return First < Last ? std::string(First, Last) : std::string();
+}
+
+} // namespace
 
 std::optional<std::string> hichi::getEnvString(const char *Name) {
   const char *Value = std::getenv(Name);
@@ -18,16 +31,40 @@ std::optional<std::string> hichi::getEnvString(const char *Name) {
   return std::string(Value);
 }
 
-std::optional<long> hichi::getEnvInt(const char *Name) {
+std::optional<std::string> hichi::getEnvTrimmed(const char *Name) {
   const char *Value = std::getenv(Name);
-  if (!Value || !*Value)
+  if (!Value)
+    return std::nullopt;
+  std::string Trim = trimmed(Value);
+  if (Trim.empty())
+    return std::nullopt;
+  return Trim;
+}
+
+std::optional<long> hichi::getEnvInt(const char *Name) {
+  auto Value = getEnvTrimmed(Name);
+  if (!Value)
     return std::nullopt;
   char *End = nullptr;
   errno = 0;
-  long Parsed = std::strtol(Value, &End, 10);
-  if (errno != 0 || End == Value || *End != '\0')
+  long Parsed = std::strtol(Value->c_str(), &End, 10);
+  if (errno != 0 || End == Value->c_str() || *End != '\0')
     return std::nullopt;
   return Parsed;
+}
+
+std::optional<bool> hichi::getEnvBool(const char *Name) {
+  auto Value = getEnvTrimmed(Name);
+  if (!Value)
+    return std::nullopt;
+  std::string Lower = *Value;
+  std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                 [](unsigned char C) { return char(std::tolower(C)); });
+  if (Lower == "1" || Lower == "true" || Lower == "on" || Lower == "yes")
+    return true;
+  if (Lower == "0" || Lower == "false" || Lower == "off" || Lower == "no")
+    return false;
+  return std::nullopt;
 }
 
 bool hichi::envEquals(const char *Name, const char *Value) {

@@ -24,9 +24,25 @@ namespace hichi {
 /// it is unset.
 std::optional<std::string> getEnvString(const char *Name);
 
-/// \returns the integer value of \p Name, or std::nullopt if unset or not
-/// parseable as a base-10 integer.
+/// \returns the value of \p Name with surrounding whitespace trimmed, or
+/// std::nullopt if unset or blank — the right accessor for name-valued
+/// knobs (backend names, paths) where a stray space from an `export`
+/// line would otherwise fail lookups silently.
+std::optional<std::string> getEnvTrimmed(const char *Name);
+
+/// \returns the integer value of \p Name (surrounding whitespace
+/// trimmed), or std::nullopt if unset or not parseable as a base-10
+/// integer.
 std::optional<long> getEnvInt(const char *Name);
+
+/// \returns the boolean value of \p Name: "1"/"true"/"on"/"yes" are
+/// true, "0"/"false"/"off"/"no" are false (case-insensitive, surrounding
+/// whitespace trimmed), anything else — including unset — is
+/// std::nullopt so the caller's default applies. The one parser for
+/// every boolean knob (MINISYCL_ASYNC_SUBMIT, HICHI_BENCH_*), so falsy
+/// spellings behave uniformly; knob precedence is always
+/// CLI flag > environment > built-in default.
+std::optional<bool> getEnvBool(const char *Name);
 
 /// \returns true iff \p Name is set to exactly \p Value (case-sensitive,
 /// matching how DPC++ treats DPCPP_CPU_PLACES).

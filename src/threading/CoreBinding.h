@@ -1,0 +1,71 @@
+//===-- threading/CoreBinding.h - Best-effort thread pinning ---*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one best-effort thread→core pinning helper, shared by the thread
+/// pool's workers and the sharded backend's lane threads (previously
+/// two identical private copies — the copy-drift this tree keeps
+/// unifying away). Pinning is a locality hint, never a correctness
+/// requirement: on hosts without enough cores it silently degrades to a
+/// no-op so oversubscribed runs still work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_THREADING_COREBINDING_H
+#define HICHI_THREADING_COREBINDING_H
+
+#include <atomic>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hichi {
+namespace threading {
+
+/// Pins the calling thread to \p Core if the host has that many cores;
+/// silently does nothing otherwise (correctness never depends on
+/// pinning — the paper binds threads to cores for its scaling studies,
+/// and first-touch NUMA placement follows the binding when it takes).
+inline void tryBindCurrentThreadToCore(int Core) {
+#if defined(__linux__)
+  const unsigned Hw = std::thread::hardware_concurrency();
+  if (Core < 0 || unsigned(Core) >= Hw)
+    return;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Core, &Set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+#else
+  (void)Core;
+#endif
+}
+
+/// Claims the next core of a process-wide round-robin and pins the
+/// calling thread to it; \returns the claimed core id. For persistent
+/// worker threads created by *several independent objects* — e.g. the
+/// three per-stage sharded backends of one PIC simulation — so their
+/// lanes spread across cores instead of each instance pinning its lane
+/// 0..K-1 onto the same low-numbered cores and timesharing them while
+/// the rest of the host sits idle. (The claim is monotonic: cores are
+/// not returned when threads exit — acceptable for the long-lived lane
+/// threads this exists for, and it wraps around anyway.)
+inline int tryBindCurrentThreadToNextCore() {
+  static std::atomic<unsigned> NextCore{0};
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  const int Core = int(NextCore.fetch_add(1, std::memory_order_relaxed) % Hw);
+  tryBindCurrentThreadToCore(Core);
+  return Core;
+}
+
+} // namespace threading
+} // namespace hichi
+
+#endif // HICHI_THREADING_COREBINDING_H

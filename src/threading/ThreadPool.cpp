@@ -8,37 +8,17 @@
 
 #include "support/CpuTopology.h"
 #include "support/Logging.h"
+#include "threading/CoreBinding.h"
 
 #include <cassert>
-
-#if defined(__linux__)
-#include <pthread.h>
-#include <sched.h>
-#endif
 
 using namespace hichi;
 using namespace hichi::threading;
 
-/// Pins the calling thread to \p Core if the host has that many cores;
-/// silently does nothing otherwise (correctness never depends on pinning).
-static void tryBindToCore(int Core) {
-#if defined(__linux__)
-  unsigned Hw = std::thread::hardware_concurrency();
-  if (Core < 0 || unsigned(Core) >= Hw)
-    return;
-  cpu_set_t Set;
-  CPU_ZERO(&Set);
-  CPU_SET(Core, &Set);
-  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
-#else
-  (void)Core;
-#endif
-}
-
 ThreadPool::ThreadPool(int ExtraWorkers, bool BindToCores) {
   assert(ExtraWorkers >= 0 && "negative worker count");
   if (BindToCores)
-    tryBindToCore(0);
+    tryBindCurrentThreadToCore(0);
   Workers.resize(size_t(ExtraWorkers));
   for (int I = 0; I < ExtraWorkers; ++I)
     Workers[size_t(I)].Thread =
@@ -116,7 +96,7 @@ void ThreadPool::run(int Width, const std::function<void(int)> &Body) {
 
 void ThreadPool::workerLoop(int WorkerIndex, bool BindToCores) {
   if (BindToCores)
-    tryBindToCore(WorkerIndex);
+    tryBindCurrentThreadToCore(WorkerIndex);
 
   std::uint64_t SeenEpoch = 0;
   for (;;) {

@@ -18,9 +18,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/BackendRegistry.h"
+#include "exec/SlabPartition.h"
 #include "minisycl/minisycl.h"
 #include "pic/FdtdSolver.h"
 #include "pic/SpectralSolver.h"
+#include "pic/TiledCurrentAccumulator.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -199,6 +201,25 @@ TEST(FdtdSolverTest, TiledStepBitwiseMatchesSerial) {
       expectFieldsBitwiseEqual(G, Ref);
     }
   }
+
+  // Shard axis: the sharded backend partitions the slab launches across
+  // its persistent lanes (threads = shard count); every shard count x
+  // tile count must still produce the serial bits.
+  for (int Shards : {1, 2, 5, 13}) {
+    auto Backend = exec::createBackend("sharded", {Shards, 0});
+    ASSERT_NE(Backend, nullptr);
+    exec::ExecutionContext Ctx;
+    for (int Tiles : {1, 3, 8, 64}) {
+      FdtdSlabPartition<double> Partition(Size, Tiles);
+      YeeGrid<double> G = Initial;
+      RunStats Stats;
+      for (int T = 0; T < Steps; ++T)
+        Solver.step(G, Dt, Partition, *Backend, Ctx, Stats);
+      SCOPED_TRACE("shards=" + std::to_string(Shards) + " tiles=" +
+                   std::to_string(Partition.tileCount()));
+      expectFieldsBitwiseEqual(G, Ref);
+    }
+  }
 }
 
 TEST(FdtdSolverTest, SpectralTiledStepBitwiseMatchesSerial) {
@@ -248,6 +269,36 @@ TEST(FdtdSolverTest, SlabPartitionClampsAndCovers) {
     Covered = C.tile(T).PlaneEnd;
   }
   EXPECT_EQ(Covered, 7);
+}
+
+TEST(FdtdSolverTest, SlabPartitionDegenerateRequestsMatchDepositTiles) {
+  // The degenerate clamp cases both partitions must agree on (they now
+  // share exec/SlabPartition.h): negative requests, Nx == 1, and
+  // requests past Nx collapse identically on both stages.
+  FdtdSlabPartition<double> Negative({8, 4, 4}, -5);
+  EXPECT_EQ(Negative.tileCount(), 1);
+  FdtdSlabPartition<double> SinglePlane({1, 4, 4}, 100);
+  EXPECT_EQ(SinglePlane.tileCount(), 1);
+  EXPECT_EQ(SinglePlane.tile(0).PlaneBegin, 0);
+  EXPECT_EQ(SinglePlane.tile(0).PlaneEnd, 1);
+
+  // Cross-stage agreement on every clamp outcome, ragged splits
+  // included: the deposit tiles and the field slabs must report the
+  // same count and identical plane ranges for the same request.
+  for (Index Nx : {Index(1), Index(7), Index(8)})
+    for (int Requested : {-5, 0, 1, 3, 7, 100}) {
+      FdtdSlabPartition<double> Field({Nx, 4, 4}, Requested);
+      TiledCurrentAccumulator<double> Deposit({Nx, 4, 4}, {0, 0, 0},
+                                              {1, 1, 1}, Requested);
+      ASSERT_EQ(Field.tileCount(), Deposit.tileCount())
+          << "Nx=" << Nx << " requested=" << Requested;
+      for (Index T = 0; T < Index(Field.tileCount()); ++T) {
+        const exec::SlabRange R =
+            exec::slabRange(Nx, Index(Field.tileCount()), T);
+        EXPECT_EQ(Field.tile(T).PlaneBegin, R.Begin);
+        EXPECT_EQ(Field.tile(T).PlaneEnd, R.End);
+      }
+    }
 }
 
 } // namespace

@@ -202,6 +202,14 @@ TEST(TiledDepositionTest, SimulationHashInvariantAcrossBackendsAndTiles) {
             Reference);
   EXPECT_EQ(simulationHash<ParticleArrayAoS<double>>("dpcpp", 5, 3, true, 30),
             Reference);
+  // Shard axis: the sharded backend splits the deposit into per-shard
+  // accumulate→reduce chains (threads = shard count); every shard count
+  // must reproduce the same bits — including 13 shards over 5 tiles.
+  for (int Shards : {1, 2, 5, 13})
+    EXPECT_EQ(simulationHash<ParticleArrayAoS<double>>("sharded", 5, Shards,
+                                                       true, 30),
+              Reference)
+        << "shards=" << Shards;
 }
 
 TEST(TiledDepositionTest, SimulationHashInvariantForSoALayout) {

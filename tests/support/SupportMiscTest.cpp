@@ -126,6 +126,50 @@ TEST(EnvVarTest, IntParsing) {
   ::unsetenv("HICHI_TEST_INT");
 }
 
+TEST(EnvVarTest, IntParsingTrimsWhitespace) {
+  // An `export HICHI_BENCH_STEPS=" 8 "`-style value must parse, not be
+  // silently ignored.
+  ::setenv("HICHI_TEST_INT", "  42  ", 1);
+  EXPECT_EQ(getEnvInt("HICHI_TEST_INT"), 42);
+  ::setenv("HICHI_TEST_INT", "\t-7\n", 1);
+  EXPECT_EQ(getEnvInt("HICHI_TEST_INT"), -7);
+  ::setenv("HICHI_TEST_INT", "   ", 1);
+  EXPECT_FALSE(getEnvInt("HICHI_TEST_INT").has_value());
+  ::unsetenv("HICHI_TEST_INT");
+}
+
+TEST(EnvVarTest, TrimmedStringAccessor) {
+  ::setenv("HICHI_TEST_TRIM", "  serial ", 1);
+  EXPECT_EQ(getEnvTrimmed("HICHI_TEST_TRIM"), "serial");
+  ::setenv("HICHI_TEST_TRIM", "   ", 1);
+  EXPECT_FALSE(getEnvTrimmed("HICHI_TEST_TRIM").has_value());
+  ::unsetenv("HICHI_TEST_TRIM");
+  EXPECT_FALSE(getEnvTrimmed("HICHI_TEST_TRIM").has_value());
+}
+
+TEST(EnvVarTest, BoolParsingAcceptsEverySpelling) {
+  // The uniform boolean-knob grammar (MINISYCL_ASYNC_SUBMIT and every
+  // HICHI_BENCH_* boolean): 0/1/true/false/on/off/yes/no,
+  // case-insensitive, whitespace-trimmed; anything else keeps the
+  // caller's default (nullopt).
+  for (const char *Truthy : {"1", "true", "TRUE", "on", "On", "yes", " 1 "}) {
+    ::setenv("HICHI_TEST_BOOL", Truthy, 1);
+    EXPECT_EQ(getEnvBool("HICHI_TEST_BOOL"), true) << "'" << Truthy << "'";
+  }
+  for (const char *Falsy :
+       {"0", "false", "False", "off", "OFF", "no", "  0\t"}) {
+    ::setenv("HICHI_TEST_BOOL", Falsy, 1);
+    EXPECT_EQ(getEnvBool("HICHI_TEST_BOOL"), false) << "'" << Falsy << "'";
+  }
+  for (const char *Junk : {"2", "maybe", "", "  "}) {
+    ::setenv("HICHI_TEST_BOOL", Junk, 1);
+    EXPECT_FALSE(getEnvBool("HICHI_TEST_BOOL").has_value())
+        << "'" << Junk << "'";
+  }
+  ::unsetenv("HICHI_TEST_BOOL");
+  EXPECT_FALSE(getEnvBool("HICHI_TEST_BOOL").has_value());
+}
+
 TEST(EnvVarTest, EnvEqualsExactMatch) {
   ::setenv("HICHI_TEST_PLACES", "numa_domains", 1);
   EXPECT_TRUE(envEquals("HICHI_TEST_PLACES", "numa_domains"));

@@ -172,17 +172,28 @@ def main():
     drift = 1.0
     tolerance = args.threshold
     if pairs and not args.no_normalize:
-        ratios = sorted(old / new for _, old, new in pairs)
-        drift = ratios[len(ratios) // 2]
-        # Noise-adaptive tolerance: the drift-adjusted log-ratios center
-        # on 0 by construction; their median absolute deviation measures
-        # what this host can resolve. Gate at the larger of the requested
-        # threshold and three robust sigmas, so a quiet host enforces the
-        # threshold and a noisy one does not flap on its own scatter.
-        residuals = sorted(abs(math.log(new * drift / old))
-                           for _, old, new in pairs)
-        sigma = 1.4826 * residuals[len(residuals) // 2]
-        tolerance = max(args.threshold, math.expm1(3.0 * sigma))
+        if len(pairs) < 2:
+            # Degenerate run: with a single matched configuration the
+            # median drift IS that configuration's ratio (normalization
+            # would eat the entire signal) and the MAD is 0 (the robust
+            # sigma cannot estimate spread from one sample). Fall back to
+            # the raw threshold-only gate and say so explicitly.
+            print("bench_trend: n=1 matched configuration — no spread "
+                  "estimate; drift normalization and the noise-adaptive "
+                  "tolerance are disabled (threshold-only gate)")
+        else:
+            ratios = sorted(old / new for _, old, new in pairs)
+            drift = ratios[len(ratios) // 2]
+            # Noise-adaptive tolerance: the drift-adjusted log-ratios
+            # center on 0 by construction; their median absolute
+            # deviation measures what this host can resolve. Gate at the
+            # larger of the requested threshold and three robust sigmas,
+            # so a quiet host enforces the threshold and a noisy one does
+            # not flap on its own scatter.
+            residuals = sorted(abs(math.log(new * drift / old))
+                               for _, old, new in pairs)
+            sigma = 1.4826 * residuals[len(residuals) // 2]
+            tolerance = max(args.threshold, math.expm1(3.0 * sigma))
 
     # Aggregate to the gated granularity: (bench, backend, stage), the
     # median drift-adjusted ratio across the triple's configurations.
@@ -244,9 +255,10 @@ def main():
         print(f"bench_trend: FAIL — {len(regressions)} NSPS regression(s) "
               "per (bench, backend, stage):", file=sys.stderr)
         for (bench, backend, stage), ratio, count in regressions:
+            note = " (n=1, no spread estimate)" if count == 1 else ""
             print(f"  {bench} / {backend} / {stage}: median "
                   f"+{ratio - 1.0:.0%} drift-adjusted NSPS over {count} "
-                  f"configuration(s)", file=sys.stderr)
+                  f"configuration(s){note}", file=sys.stderr)
         return 1
 
     print(f"bench_trend: OK ({improvements} of {len(by_triple)} "

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_trend.py.
+
+Exercises the degenerate tolerance cases the CI gate can hit on small
+artifact sets — above all the n=1 case: a (bench, backend, stage) triple
+with a single matched configuration, where the run-wide MAD is 0 and the
+median drift would eat the entire regression signal. bench_trend must
+fall back to the threshold-only gate there and say so explicitly.
+
+Run directly (python3 tools/bench_trend_test.py) or via the
+`bench_trend_unit` ctest target.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TREND = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "bench_trend.py")
+
+
+def make_record(backend, nsps, bench="bench_x", stage="push"):
+    """One hichi-bench-v1 record; min_ns = 0 so best_nsps uses nsps."""
+    return {"bench": bench, "backend": backend, "stage": stage,
+            "scenario": "s", "layout": "aos", "precision": "double",
+            "particles": 100, "steps": 10, "iterations": 2, "fuse_steps": 1,
+            "threads": 0, "submit": "mega-kernel", "median_ns": 0.0,
+            "min_ns": 0.0, "max_ns": 0.0, "nsps": nsps}
+
+
+def write_artifact(directory, records, name="BENCH_x.json"):
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, name), "w") as handle:
+        json.dump({"schema": "hichi-bench-v1", "bench": "bench_x",
+                   "results": records}, handle)
+
+
+def run_trend(results, baseline, *extra):
+    process = subprocess.run(
+        [sys.executable, TREND, "--results", results, "--baseline", baseline,
+         "--threshold", "0.15", *extra],
+        capture_output=True, text=True)
+    return process.returncode, process.stdout + process.stderr
+
+
+class SingleConfigurationTest(unittest.TestCase):
+    """The n=1 degenerate case: threshold-only gate, explicit note."""
+
+    def run_single(self, old_nsps, new_nsps):
+        with tempfile.TemporaryDirectory() as tmp:
+            results = os.path.join(tmp, "results")
+            baseline = os.path.join(tmp, "baseline")
+            write_artifact(baseline, [make_record("serial", old_nsps)])
+            write_artifact(results, [make_record("serial", new_nsps)])
+            return run_trend(results, baseline)
+
+    def test_regression_fails_threshold_only(self):
+        # 2x slower on the only configuration: the old behaviour let the
+        # median drift normalize this to exactly 1.0 and pass; the
+        # threshold-only fallback must fail it.
+        code, output = self.run_single(100.0, 200.0)
+        self.assertEqual(code, 1, output)
+        self.assertIn("n=1", output)
+        self.assertIn("no spread estimate", output)
+        self.assertIn("threshold-only gate", output)
+
+    def test_within_threshold_passes_with_note(self):
+        code, output = self.run_single(100.0, 110.0)
+        self.assertEqual(code, 0, output)
+        self.assertIn("no spread estimate", output)
+
+    def test_flagged_triple_reports_n1_note(self):
+        # Three configurations so the sigma path stays active (MAD = 0
+        # because two residuals vanish): the regressing triple has a
+        # single configuration and its report line must carry the note.
+        with tempfile.TemporaryDirectory() as tmp:
+            results = os.path.join(tmp, "results")
+            baseline = os.path.join(tmp, "baseline")
+            write_artifact(baseline, [make_record("serial", 100.0),
+                                      make_record("openmp", 50.0),
+                                      make_record("dpcpp", 80.0)])
+            write_artifact(results, [make_record("serial", 100.0),
+                                     make_record("openmp", 50.0),
+                                     make_record("dpcpp", 160.0)])
+            code, output = run_trend(results, baseline)
+        self.assertEqual(code, 1, output)
+        self.assertIn("(n=1, no spread estimate)", output)
+
+
+class MultiConfigurationTest(unittest.TestCase):
+    """n >= 2 keeps the drift/tolerance layers exactly as before."""
+
+    def test_uniform_slowdown_is_absorbed_as_drift_with_warning(self):
+        # Every configuration 2x slower reads as host drift (the
+        # documented blind spot) — still passes, but loudly.
+        with tempfile.TemporaryDirectory() as tmp:
+            results = os.path.join(tmp, "results")
+            baseline = os.path.join(tmp, "baseline")
+            write_artifact(baseline, [make_record("serial", 100.0),
+                                      make_record("openmp", 60.0)])
+            write_artifact(results, [make_record("serial", 200.0),
+                                     make_record("openmp", 120.0)])
+            code, output = run_trend(results, baseline)
+        self.assertEqual(code, 0, output)
+        self.assertIn("WARNING", output)
+
+    def test_no_baseline_is_clean_pass(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            results = os.path.join(tmp, "results")
+            write_artifact(results, [make_record("serial", 100.0)])
+            code, output = run_trend(results, os.path.join(tmp, "missing"))
+        self.assertEqual(code, 0, output)
+        self.assertIn("no baseline", output)
+
+
+if __name__ == "__main__":
+    unittest.main()
