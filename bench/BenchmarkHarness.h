@@ -24,7 +24,9 @@
 /// backends. Sizes are CI-friendly by default and overridable:
 ///   HICHI_BENCH_PARTICLES (default 60000), HICHI_BENCH_STEPS (default
 ///   30), HICHI_BENCH_ITERATIONS (default 3). Benches that support it
-///   write their records to the file named by HICHI_BENCH_JSON.
+///   write their records to the file named by HICHI_BENCH_JSON, and
+///   the PIC benches run in step-graph replay mode when
+///   HICHI_BENCH_GRAPH is nonzero (envGraphMode/applyEnvPicBackends).
 ///
 /// Backend resolution from the environment is uniform across benches
 /// (the ROADMAP gap that benches honored HICHI_BENCH_BACKEND only
@@ -140,6 +142,31 @@ inline std::optional<int> envShardCount() {
   if (auto V = getEnvInt("HICHI_BENCH_SHARDS"))
     return int(*V);
   return std::nullopt;
+}
+
+/// Step-graph capture/replay requested via HICHI_BENCH_GRAPH (any
+/// nonzero value). Resolved here once so every PIC bench honors the
+/// knob identically; benches with a CLI flag apply it after this
+/// (CLI > environment > default).
+inline bool envGraphMode() {
+  return getEnvInt("HICHI_BENCH_GRAPH").value_or(0) != 0;
+}
+
+/// Prefills the per-stage exec knobs of \p Options (a pic::PicOptions,
+/// taken as a template so the exec-layer benches need no pic include)
+/// from the environment in one place: the three stage backends from
+/// their HICHI_BENCH_*_BACKEND variables (deposit/field fall back to
+/// the push variable, then to \p Fallback) and step-graph replay from
+/// HICHI_BENCH_GRAPH. Callers overwrite whatever their sweep or CLI
+/// controls *after* this call — assignment order is the precedence
+/// rule (CLI flag > environment > default).
+template <typename PicOptionsT>
+void applyEnvPicBackends(PicOptionsT &Options,
+                         const char *Fallback = "serial") {
+  Options.PushBackend = envPushBackendName(Fallback);
+  Options.DepositBackend = envDepositBackendName(Fallback);
+  Options.FieldBackend = envFieldBackendName(Fallback);
+  Options.UseStepGraph = envGraphMode();
 }
 
 /// \returns the backend named \p Name from the registry, or dies with a

@@ -24,6 +24,14 @@
 /// like every other bench; the deposit stage always runs on "serial" so
 /// stage 3 never pollutes the stage-1 comparison.
 ///
+/// A second sweep quantifies the step-graph win (exec/StepGraph.h):
+/// resubmit-vs-replay over a ladder of grid sizes with every stage on
+/// the async pipeline, reporting the launch-ledger and submit-overhead
+/// deltas of the measured window as stage "submit" records (submit =
+/// "graph" / "resubmit"). The bench fails unless, at the smallest grid
+/// (where per-submit overhead dominates), graph mode is strictly lower
+/// in both launches/step and submit-µs/step — and bit-identical.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchmarkHarness.h"
@@ -47,23 +55,11 @@ struct AsyncResult {
   int Chunks = 0;
 };
 
-/// One measured configuration: a fresh Langmuir-style plasma advanced
-/// warmup + Iterations x Steps steps; per-iteration stage-1 wall times
-/// from the simulation's accumulated push-stage stats.
-AsyncResult measureConfig(const GridSize &N, int PerCell,
-                          const std::string &PushBackend, int Lanes,
-                          int Chunks, const BenchSizes &Sizes) {
-  PicOptions<double> Options;
-  Options.LightVelocity = 1.0;
-  Options.SortEveryNSteps = 20;
-  Options.PushBackend = PushBackend;
-  Options.PushThreads = Lanes;
-  Options.PushPipelineChunks = Chunks;
-  Options.DepositBackend = "serial";
+/// Seeds the Langmuir-style standing oscillation (PerCell electrons per
+/// cell, x-velocity sine over the box) shared by both sweeps.
+void seedLangmuir(PicSimulation<double> &Sim, const GridSize &N,
+                  int PerCell) {
   const Index NumParticles = N.count() * PerCell;
-  PicSimulation<double> Sim(N, {0, 0, 0}, {0.5, 0.5, 0.5}, NumParticles,
-                            ParticleTypeTable<double>::natural(), Options);
-
   const double BoxLength = double(N.Nx) * 0.5;
   const double Volume = BoxLength * double(N.Ny) * 0.5 * double(N.Nz) * 0.5;
   const double Weight =
@@ -85,6 +81,25 @@ AsyncResult measureConfig(const GridSize &N, int PerCell,
       Sim.addParticle(Particle);
     }
   }
+}
+
+/// One measured configuration: a fresh Langmuir-style plasma advanced
+/// warmup + Iterations x Steps steps; per-iteration stage-1 wall times
+/// from the simulation's accumulated push-stage stats.
+AsyncResult measureConfig(const GridSize &N, int PerCell,
+                          const std::string &PushBackend, int Lanes,
+                          int Chunks, const BenchSizes &Sizes) {
+  PicOptions<double> Options;
+  Options.LightVelocity = 1.0;
+  Options.SortEveryNSteps = 20;
+  Options.PushBackend = PushBackend;
+  Options.PushThreads = Lanes;
+  Options.PushPipelineChunks = Chunks;
+  Options.DepositBackend = "serial";
+  const Index NumParticles = N.count() * PerCell;
+  PicSimulation<double> Sim(N, {0, 0, 0}, {0.5, 0.5, 0.5}, NumParticles,
+                            ParticleTypeTable<double>::natural(), Options);
+  seedLangmuir(Sim, N, PerCell);
 
   AsyncResult Out;
   Sim.run(Sizes.StepsPerIteration); // warmup (first-touch, lanes, buffers)
@@ -144,6 +159,112 @@ MeasuredSeries seriesOfTotal(double WindowTotalNs, Index Particles,
                                 double(Particles),
                                 double(Sizes.StepsPerIteration));
   return S;
+}
+
+// --- resubmit-vs-replay submit-overhead sweep ----------------------------
+
+struct SubmitResult {
+  double LaunchesPerStep = 0; ///< counted submits per step, measured window
+  double SpecsPerStep = 0;    ///< LaunchSpecs built per step
+  double SubmitUsPerStep = 0; ///< µs inside submit() outside kernel bodies
+  MeasuredSeries Submit;      ///< submit-overhead ns per iteration
+  std::uint64_t Hash = 0;
+};
+
+/// Submit overhead of one grid size in one submission mode: every stage
+/// on the async pipeline (each launch is a counted non-blocking submit,
+/// so the ledger isolates issue cost), warmup — where graph mode
+/// captures — then the submitOverhead() ledger deltas of the measured
+/// window. Replay keeps accruing SubmitNs (per-node re-issue cost) but
+/// not Launches/SpecsBuilt, which stay at the capture step's counts.
+SubmitResult measureSubmit(const GridSize &N, int PerCell, bool UseGraph,
+                           const BenchSizes &Sizes) {
+  PicOptions<double> Options;
+  Options.LightVelocity = 1.0;
+  Options.SortEveryNSteps = 20;
+  // Env-resolved stage backends (default: every stage on the pipeline);
+  // the sweep's own mode knob overrides the HICHI_BENCH_GRAPH default.
+  applyEnvPicBackends(Options, "async-pipeline");
+  Options.PushThreads = 2;
+  Options.DepositThreads = 2;
+  Options.FieldThreads = 2;
+  Options.UseStepGraph = UseGraph;
+  const Index NumParticles = N.count() * PerCell;
+  PicSimulation<double> Sim(N, {0, 0, 0}, {0.5, 0.5, 0.5}, NumParticles,
+                            ParticleTypeTable<double>::natural(), Options);
+  seedLangmuir(Sim, N, PerCell);
+
+  SubmitResult Out;
+  Sim.run(Sizes.StepsPerIteration); // warmup; graph mode captures here
+  const RunStats Before = Sim.submitOverhead();
+  double Total = 0;
+  for (int It = 0; It < Sizes.Iterations; ++It) {
+    const double SubmitBefore = Sim.submitOverhead().SubmitNs;
+    Sim.run(Sizes.StepsPerIteration);
+    Out.Submit.IterationNs.push_back(Sim.submitOverhead().SubmitNs -
+                                     SubmitBefore);
+    Total += Out.Submit.IterationNs.back();
+  }
+  const RunStats After = Sim.submitOverhead();
+  const double Steps = double(Sizes.Iterations) *
+                       double(Sizes.StepsPerIteration);
+  Out.LaunchesPerStep = double(After.Launches - Before.Launches) / Steps;
+  Out.SpecsPerStep = double(After.SpecsBuilt - Before.SpecsBuilt) / Steps;
+  Out.SubmitUsPerStep = (After.SubmitNs - Before.SubmitNs) / Steps / 1e3;
+  Out.Submit.Nsps = nsPerParticlePerStep(Total, Sizes.Iterations,
+                                         double(NumParticles),
+                                         double(Sizes.StepsPerIteration));
+  Out.Hash = picStateHash(Sim.particles(), Sim.grid());
+  return Out;
+}
+
+/// Runs the resubmit-vs-replay ladder and \returns true iff at the
+/// smallest grid graph mode beat resubmission in both launches/step and
+/// submit-µs/step with every hash pair matching.
+bool sweepSubmitOverhead(const BenchSizes &Sizes, JsonReport &Report) {
+  const std::vector<GridSize> Grids = {{8, 4, 4}, {16, 8, 8}, {32, 8, 8}};
+  const int PerCell = 2; // small ensembles — submit overhead dominates
+  std::printf("\nstep-graph replay vs per-step resubmission (all stages on "
+              "'async-pipeline', 2 lanes, %d particles/cell):\n", PerCell);
+  std::printf("%-12s %10s %14s %12s %15s\n", "grid", "mode",
+              "launches/step", "specs/step", "submit us/step");
+  printRule(68);
+
+  bool GraphWinsSmallest = false;
+  bool AllHashesAgree = true;
+  for (std::size_t G = 0; G < Grids.size(); ++G) {
+    const GridSize &N = Grids[G];
+    const Index NumParticles = N.count() * PerCell;
+    char GridName[32];
+    std::snprintf(GridName, sizeof(GridName), "%lldx%lldx%lld",
+                  (long long)N.Nx, (long long)N.Ny, (long long)N.Nz);
+    const SubmitResult Resubmit = measureSubmit(N, PerCell, false, Sizes);
+    const SubmitResult Graph = measureSubmit(N, PerCell, true, Sizes);
+    const bool HashOk = Graph.Hash == Resubmit.Hash;
+    AllHashesAgree = AllHashesAgree && HashOk;
+    if (G == 0)
+      GraphWinsSmallest =
+          Graph.LaunchesPerStep < Resubmit.LaunchesPerStep &&
+          Graph.SubmitUsPerStep < Resubmit.SubmitUsPerStep;
+    for (const SubmitResult *R : {&Resubmit, &Graph}) {
+      const bool IsGraph = R == &Graph;
+      BenchRecord Rec = recordOf("submit", "async-pipeline", 2, 0,
+                                 NumParticles, Sizes, R->Submit);
+      Rec.Submit = IsGraph ? "graph" : "resubmit";
+      Rec.Scenario = std::string("langmuir-") + GridName;
+      Report.add(Rec);
+      std::printf("%-12s %10s %14.2f %12.2f %15.3f%s\n", GridName,
+                  IsGraph ? "graph" : "resubmit", R->LaunchesPerStep,
+                  R->SpecsPerStep, R->SubmitUsPerStep,
+                  IsGraph && !HashOk ? "  HASH MISMATCH" : "");
+    }
+  }
+  std::printf("\nstep-graph gate: %s (smallest grid: graph %s strictly "
+              "lower in launches/step and submit-us/step; hashes %s)\n",
+              GraphWinsSmallest && AllHashesAgree ? "OK" : "FAIL",
+              GraphWinsSmallest ? "is" : "is NOT",
+              AllHashesAgree ? "match" : "DIFFER");
+  return GraphWinsSmallest && AllHashesAgree;
 }
 
 } // namespace
@@ -217,6 +338,13 @@ int main() {
               AllHashesAgree ? "OK" : "FAIL",
               AllHashesAgree ? "match" : "DIFFER from");
 
+  // The step-graph overhead gate needs the pipeline backend (on the
+  // synchronous backends host-side stage code replaces several counted
+  // launches, so the ledger comparison would be apples-to-oranges).
+  bool SubmitGateOk = true;
+  if (envBackendSelected("async-pipeline"))
+    SubmitGateOk = sweepSubmitOverhead(Sizes, Report);
+
   Report.writeEnvRequested();
-  return AllHashesAgree ? 0 : 1;
+  return AllHashesAgree && SubmitGateOk ? 0 : 1;
 }

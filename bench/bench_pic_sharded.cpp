@@ -17,8 +17,10 @@
 ///
 /// HICHI_BENCH_SHARDS=<K> restricts the sweep to one shard count;
 /// HICHI_BENCH_BACKEND, when set to anything but "sharded", skips the
-/// sweep entirely (the uniform sweep-restriction convention). Set
-/// HICHI_BENCH_JSON=<path> to write hichi-bench-v1 records (stage =
+/// sweep entirely (the uniform sweep-restriction convention);
+/// HICHI_BENCH_GRAPH=1 runs every configuration in step-graph replay
+/// mode (capture once, replay the rest — the hash gate still binds).
+/// Set HICHI_BENCH_JSON=<path> to write hichi-bench-v1 records (stage =
 /// "step", scenario = "langmuir-sharded", threads = shard count).
 ///
 //===----------------------------------------------------------------------===//
@@ -51,6 +53,10 @@ StepResult measureConfig(const GridSize &N, int PerCell, int Shards,
   PicOptions<double> Options;
   Options.LightVelocity = 1.0;
   Options.SortEveryNSteps = 20;
+  // The metric here is the whole-step wall, which replay preserves —
+  // so this bench honors HICHI_BENCH_GRAPH (envGraphMode), unlike the
+  // per-stage benches whose stage stats do not accrue during replay.
+  Options.UseStepGraph = envGraphMode();
   if (Shards > 0) {
     Options.PushBackend = "sharded";
     Options.PushThreads = Shards;
@@ -114,7 +120,9 @@ BenchRecord recordOf(const std::string &Backend, int Threads,
   R.Steps = Sizes.StepsPerIteration;
   R.Iterations = Sizes.Iterations;
   R.Threads = Threads;
-  R.Submit = "event-chain"; // per-shard affinity-routed chained submits
+  // Per-shard affinity-routed chained submits; captured once and
+  // replayed when HICHI_BENCH_GRAPH is set.
+  R.Submit = envGraphMode() ? "graph" : "event-chain";
   R.setSeries(Series);
   return R;
 }

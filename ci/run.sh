@@ -23,20 +23,30 @@ export HICHI_BENCH_ITERATIONS="${HICHI_BENCH_ITERATIONS:-2}"
 run_smoke_benches() {
   # bench_pic_deposit / bench_pic_async / bench_pic_fields also fail by
   # themselves if any configuration's state hash deviates from the
-  # serial reference.
+  # serial reference. bench_pic_async additionally runs the step-graph
+  # resubmit-vs-replay sweep (stage "submit") and fails unless replay is
+  # strictly cheaper to issue at the smallest grid.
   HICHI_BENCH_JSON=results/BENCH_scheduling.json \
     ./build/bench_ablation_scheduling
   HICHI_BENCH_JSON=results/BENCH_pic_deposit.json ./build/bench_pic_deposit
   HICHI_BENCH_JSON=results/BENCH_pic_async.json ./build/bench_pic_async
   HICHI_BENCH_JSON=results/BENCH_pic_fields.json ./build/bench_pic_fields
   # bench_pic_sharded fails by itself on any shard-count hash deviation
-  # and records the shard-scaling trend baseline (stage "step").
+  # and records the shard-scaling trend baseline (stage "step") — once
+  # resubmitting and once in step-graph replay mode (submit "graph"
+  # keys the records separately in the trend gate).
   HICHI_BENCH_JSON=results/BENCH_pic_sharded.json ./build/bench_pic_sharded
+  HICHI_BENCH_GRAPH=1 HICHI_BENCH_JSON=results/BENCH_pic_sharded_graph.json \
+    ./build/bench_pic_sharded
   for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline sharded; do
     ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
       --iterations 2 --json "results/BENCH_push_${RUNNER}.json" \
       | grep -E "NSPS|state hash"
   done
+  # The step-loop graph shape (capture step 0, replay the rest).
+  ./build/hichi_push --runner dpcpp --graph --particles 20000 --steps 10 \
+    --iterations 2 --json results/BENCH_push_dpcpp_graph.json \
+    | grep -E "NSPS|state hash"
 }
 
 ./build/hichi_push --list-runners
@@ -44,7 +54,8 @@ run_smoke_benches
 
 # All runners (the event-chained async-pipeline included) must agree
 # bitwise on the final particle state; --chain re-runs the dpcpp backend
-# through the event-chained submission shape.
+# through the event-chained submission shape and --graph through the
+# captured-once/replayed step graph.
 HASHES="$({
   for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline sharded; do
     ./build/hichi_push --runner "$RUNNER" --particles 5000 --steps 5 \
@@ -52,6 +63,10 @@ HASHES="$({
   done
   ./build/hichi_push --runner dpcpp --chain --particles 5000 --steps 5 \
     --iterations 1
+  for RUNNER in openmp async-pipeline sharded; do
+    ./build/hichi_push --runner "$RUNNER" --graph --particles 5000 \
+      --steps 5 --iterations 1
+  done
 } | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p' | sort -u | wc -l)"
 if [ "$HASHES" != "1" ]; then
   echo "FAIL: runners disagree on the final particle state" >&2
@@ -84,6 +99,15 @@ PIC_HASHES="$(
   ./build/pic_langmuir --steps 40 --push-backend async-pipeline \
     --threads 4 --pipeline-chunks 3 --deposit-backend dpcpp \
     | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  # Step-graph replay (capture step 0, replay 1..39) must land on the
+  # same hash, including the sharded whole-loop shape.
+  for B in serial openmp async-pipeline; do
+    ./build/pic_langmuir --steps 40 --push-backend "$B" \
+      --deposit-backend "$B" --deposit-tiles 5 --graph \
+      | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  done
+  ./build/pic_langmuir --steps 40 --shards 3 --graph \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
 )"
 if [ "$(echo "$PIC_HASHES" | sort -u | wc -l)" != "1" ]; then
   echo "FAIL: PIC state hashes differ across backends/tiles/pipelines" >&2
@@ -113,6 +137,10 @@ for SOLVER in fdtd spectral; do
     ./build/pic_langmuir --steps 40 --solver "$SOLVER" \
       --field-backend async-pipeline --field-threads 2 --field-tiles 7 \
       --deposit-backend async-pipeline --deposit-tiles 3 \
+      | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+    # Graph replay of the per-solver field chain (B->E->B / k-space).
+    ./build/pic_langmuir --steps 40 --solver "$SOLVER" \
+      --field-backend openmp --field-tiles 5 --graph \
       | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
   )"
   if [ "$(echo "$FIELD_HASHES" | sort -u | wc -l)" != "1" ]; then

@@ -69,6 +69,11 @@ int main(int Argc, char **Argv) {
                  "explicit --*-backend flags win)",
                  "0");
   Args.addOption("steps", "time steps to run (0 = two plasma periods)", "0");
+  Args.addFlag("graph", "capture the five-stage step's launch DAG on the "
+                        "first step and replay it on every later one "
+                        "(bit-identical; see exec/StepGraph.h)");
+  Args.addFlag("stats", "print per-step submit-overhead counters (launches, "
+                        "specs built, microseconds inside submit) per stage");
   Args.addFlag("list-runners", "list registered execution backends and exit");
   if (!Args.parse(Argc, Argv)) {
     std::fprintf(stderr, "error: %s\n", Args.error().c_str());
@@ -133,6 +138,7 @@ int main(int Argc, char **Argv) {
     if (Options.FieldBackend == "sharded" && !Args.seen("field-threads"))
       Options.FieldThreads = Shards;
   }
+  Options.UseStepGraph = Args.getFlag("graph");
   const std::string SolverName = Args.getString("solver");
   if (SolverName == "spectral") {
     Options.Solver = FieldSolverKind::Spectral;
@@ -240,6 +246,36 @@ int main(int Argc, char **Argv) {
   std::printf("field solve (%s) ran on '%s' (%d tiles): %.2f ms total\n",
               SolverName.c_str(), Sim.fieldBackend().name(),
               Sim.fieldTileCount(), Sim.fieldStats().HostNs / 1e6);
+  if (Sim.usesStepGraph()) {
+    const exec::StepGraph *Graph = Sim.stepGraph();
+    std::printf("step graph: %zu nodes, %zu edges; %lld capture(s), %lld "
+                "replays, %.2f ms graph-step wall\n",
+                Graph ? Graph->nodeCount() : 0,
+                Graph ? Graph->edgeCount() : 0, Sim.graphCaptureCount(),
+                Sim.graphReplayCount(), Sim.graphStats().HostNs / 1e6);
+  }
+  if (Args.getFlag("stats")) {
+    // The submit-overhead ledger: what the step spends constructing
+    // specs and driving submit() outside kernel bodies — the cost a
+    // captured graph exists to collapse (launches stay at the capture
+    // step's count under --graph).
+    const double Steps = double(TotalSteps > 0 ? TotalSteps : 1);
+    auto PrintLedger = [Steps](const char *Label, const RunStats &S) {
+      std::printf("  %-12s %8lld launches (%6.2f/step)  %8lld specs  "
+                  "%10.2f us submit (%8.3f us/step)\n",
+                  Label, S.Launches, double(S.Launches) / Steps,
+                  S.SpecsBuilt, S.SubmitNs / 1e3, S.SubmitNs / 1e3 / Steps);
+    };
+    std::printf("submit-overhead ledger over %d steps:\n", TotalSteps);
+    PrintLedger("push", Sim.pushStats());
+    if (Sim.pushBackend().isAsynchronous() || Sim.shardCount() > 0) {
+      PrintLedger("  precalc", Sim.precalcKernelStats());
+      PrintLedger("  push-krn", Sim.pushKernelStats());
+    }
+    PrintLedger("deposit", Sim.depositLaunchStats());
+    PrintLedger("field", Sim.fieldLaunchStats());
+    PrintLedger("total", Sim.submitOverhead());
+  }
   std::printf("final state hash = %016llx (backend-independent)\n",
               (unsigned long long)picStateHash(Sim.particles(), Sim.grid()));
   return 0;

@@ -20,10 +20,10 @@ AsyncPipelineBackend::AsyncPipelineBackend(const BackendConfig &Config)
     : Lanes([this](Task &T) { runTask(T); },
             Config.Threads > 0 ? std::min(Config.Threads, 64) : 2) {}
 
-ExecEvent AsyncPipelineBackend::submit(const LaunchSpec &Spec,
-                                       const StepKernel &Kernel,
-                                       const ExecutionContext &,
-                                       RunStats &Stats) {
+ExecEvent AsyncPipelineBackend::submitImpl(const LaunchSpec &Spec,
+                                           const StepKernel &Kernel,
+                                           const ExecutionContext &,
+                                           RunStats &Stats) {
   Task T{Kernel, Spec, &Stats, ExecEvent::pending()};
   ExecEvent Done = T.Done;
   Lanes.push(std::move(T));

@@ -54,12 +54,13 @@ public:
   bool isAsynchronous() const override { return true; }
   int concurrency() const override { return Lanes.workerCount(); }
 
-  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
-                   const ExecutionContext &Ctx, RunStats &Stats) override;
-
   /// Blocks until every launch submitted so far has completed (the
   /// destructor drains implicitly).
   void drain() { Lanes.drain(); }
+
+protected:
+  ExecEvent submitImpl(const LaunchSpec &Spec, const StepKernel &Kernel,
+                       const ExecutionContext &Ctx, RunStats &Stats) override;
 
 private:
   struct Task {

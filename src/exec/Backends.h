@@ -42,8 +42,10 @@ namespace exec {
 class SerialBackend final : public ExecutionBackend {
 public:
   const char *name() const override { return "serial"; }
-  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
-                   const ExecutionContext &Ctx, RunStats &Stats) override;
+
+protected:
+  ExecEvent submitImpl(const LaunchSpec &Spec, const StepKernel &Kernel,
+                       const ExecutionContext &Ctx, RunStats &Stats) override;
 };
 
 /// OpenMP-style static scheduling: one contiguous block per worker, the
@@ -54,8 +56,10 @@ public:
   explicit StaticPoolBackend(const BackendConfig &Config) : Config(Config) {}
 
   const char *name() const override { return "openmp"; }
-  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
-                   const ExecutionContext &Ctx, RunStats &Stats) override;
+
+protected:
+  ExecEvent submitImpl(const LaunchSpec &Spec, const StepKernel &Kernel,
+                       const ExecutionContext &Ctx, RunStats &Stats) override;
 
 private:
   BackendConfig Config;
@@ -78,8 +82,10 @@ public:
     return NumaArenas ? "dpcpp-numa" : "dpcpp";
   }
   bool needsQueue() const override { return true; }
-  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
-                   const ExecutionContext &Ctx, RunStats &Stats) override;
+
+protected:
+  ExecEvent submitImpl(const LaunchSpec &Spec, const StepKernel &Kernel,
+                       const ExecutionContext &Ctx, RunStats &Stats) override;
 
 private:
   BackendConfig Config;

@@ -98,6 +98,13 @@ public:
     return State->Complete;
   }
 
+  /// Stable identity of this event's shared state: two copies of the
+  /// same pending/deferred event compare equal, and every complete
+  /// (stateless) event maps to nullptr. Graph capture keys its
+  /// event→node map on this so edges can be recovered from
+  /// LaunchSpec::DependsOn even after the events have completed.
+  const void *identity() const { return State.get(); }
+
   /// Marks a pending event complete and wakes every waiter. Backend-side
   /// only; publish all launch side effects (results, stats) before
   /// calling. A no-op on complete events.

@@ -57,8 +57,11 @@
 
 #include "exec/ExecEvent.h"
 #include "support/Config.h"
+#include "support/Timer.h"
 
+#include <cstddef>
 #include <memory>
+#include <new>
 #include <vector>
 
 namespace minisycl {
@@ -77,6 +80,17 @@ struct RunStats {
   double HostNs = 0;    ///< wall time spent in kernels on this host
   double ModeledNs = 0; ///< gpusim-modeled time (== HostNs on CPU paths)
   bool Modeled = false; ///< true if ModeledNs came from the device model
+
+  /// Submit-overhead counters (maintained by ExecutionBackend::submit):
+  /// how many launches were submitted against this stats object, how
+  /// many LaunchSpecs the drivers constructed for them (graph replays
+  /// re-issue prebuilt specs, so replayed steps leave SpecsBuilt at 0),
+  /// and the wall nanoseconds spent inside submit() *outside* kernel
+  /// bodies — the per-launch overhead a compiled step graph exists to
+  /// collapse.
+  long long Launches = 0;
+  long long SpecsBuilt = 0;
+  double SubmitNs = 0;
 };
 
 namespace exec {
@@ -230,8 +244,30 @@ public:
   /// later than the returned event completes; read \p Stats only after
   /// waiting. See the file comment for the asynchronous lifetime
   /// contract.
-  virtual ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
-                           const ExecutionContext &Ctx, RunStats &Stats) = 0;
+  ///
+  /// Non-virtual: wraps the backend's submitImpl() with the
+  /// submit-overhead ledger (RunStats::Launches / SubmitNs). Synchronous
+  /// backends run kernels *inside* submitImpl; they report that time via
+  /// noteInlineKernelNs() so SubmitNs measures bookkeeping only, and a
+  /// thread-local depth counter keeps decorator backends (graph capture)
+  /// from double-counting the launches they forward.
+  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
+                   const ExecutionContext &Ctx, RunStats &Stats) {
+    ThreadSubmitState &TS = threadSubmitState();
+    const bool Outermost = TS.Depth == 0;
+    ++TS.Depth;
+    const double InlineBefore = TS.InlineKernelNs;
+    Stopwatch Watch;
+    ExecEvent Ev = submitImpl(Spec, Kernel, Ctx, Stats);
+    const double WallNs = double(Watch.elapsedNanoseconds());
+    --TS.Depth;
+    if (Outermost) {
+      const double InlineNs = TS.InlineKernelNs - InlineBefore;
+      Stats.Launches += 1;
+      Stats.SubmitNs += WallNs > InlineNs ? WallNs - InlineNs : 0.0;
+    }
+    return Ev;
+  }
 
   /// The historic blocking API: executes \p Kernel over \p Spec and
   /// returns once the work (and its stats accumulation) is complete. A
@@ -242,11 +278,41 @@ public:
   }
 
 protected:
+  /// Backend-specific submission; called only through submit().
+  virtual ExecEvent submitImpl(const LaunchSpec &Spec,
+                               const StepKernel &Kernel,
+                               const ExecutionContext &Ctx,
+                               RunStats &Stats) = 0;
+
   /// Helper for synchronous implementations: blocks until every
   /// dependency of \p Spec has completed.
   static void waitForDependencies(const LaunchSpec &Spec) {
     for (const ExecEvent &Dep : Spec.DependsOn)
       Dep.wait();
+  }
+
+  /// Synchronous submitImpl implementations report the wall time they
+  /// spent executing (or blocked on) kernel bodies, so the submit()
+  /// wrapper can subtract it from the measured overhead. Asynchronous
+  /// backends, whose kernels run on lane/pool threads, report nothing —
+  /// their whole submit wall *is* overhead.
+  static void noteInlineKernelNs(double Ns) {
+    threadSubmitState().InlineKernelNs += Ns;
+  }
+
+private:
+  /// Graph replay re-issues captured nodes through submitImpl directly
+  /// (one graph issue, not N counted launches) and reuses the
+  /// inline-kernel ledger for its own overhead accounting (StepGraph.h).
+  friend class StepGraph;
+
+  struct ThreadSubmitState {
+    int Depth = 0;           ///< nesting of decorator submits on this thread
+    double InlineKernelNs = 0; ///< monotonic inline-kernel-time ledger
+  };
+  static ThreadSubmitState &threadSubmitState() {
+    thread_local ThreadSubmitState TS;
+    return TS;
   }
 };
 
@@ -271,8 +337,103 @@ ExecEvent submitKeptLaunch(ExecutionBackend &Backend,
   Spec.GrainHint = GrainHint;
   Spec.ShardAffinity = ShardAffinity;
   Spec.DependsOn = DependsOn;
+  Stats.SpecsBuilt += 1;
   return Backend.submit(Spec, StepKernel(*Body, kernelIdentity<BlockFn>()),
                         Ctx, Stats);
+}
+
+/// Reusable owning storage for kernel bodies: the across-steps
+/// replacement for a per-step KernelKeepAlive. A driver that submits the
+/// same kernel sequence every step calls rewind() at the top of the step
+/// and emplace()s each body in submission order; a slot whose previous
+/// occupant has the same closure type is rebuilt *in place* (destroy +
+/// copy-construct into the existing heap allocation), so the steady
+/// state allocates nothing and kernel storage addresses stay stable —
+/// which is also what lets a captured step graph keep referencing the
+/// bodies across replays. A type mismatch at the cursor (the driver took
+/// a different path this step) truncates the stale tail and falls back
+/// to fresh allocation.
+///
+/// Lifetime contract: rewinding and re-emplacing is only legal once
+/// every launch still referencing the cached bodies has been waited on —
+/// the same per-step wait the asynchronous submit contract already
+/// requires.
+class KernelCache {
+public:
+  /// Resets the cursor so the next emplace() reuses the first slot.
+  void rewind() { Cursor = 0; }
+
+  /// Drops every slot (use on shape/config changes that alter the kernel
+  /// sequence).
+  void clear() {
+    Slots.clear();
+    Cursor = 0;
+  }
+
+  std::size_t size() const { return Slots.size(); }
+
+  /// Stores \p Block and \returns a reference valid until the slot is
+  /// re-emplaced or the cache cleared.
+  template <typename BlockFn> const BlockFn &emplace(BlockFn Block) {
+    const void *Id = kernelIdentity<BlockFn>();
+    if (Cursor < Slots.size() && Slots[Cursor].TypeId == Id) {
+      BlockFn *Stored = static_cast<BlockFn *>(Slots[Cursor].Body.get());
+      Stored->~BlockFn();
+      new (Stored) BlockFn(std::move(Block));
+      ++Cursor;
+      return *Stored;
+    }
+    Slots.resize(Cursor); // different kernel sequence: drop the stale tail
+    auto Body = std::make_shared<BlockFn>(std::move(Block));
+    Slots.push_back({Body, Id});
+    ++Cursor;
+    return *Body;
+  }
+
+private:
+  struct Slot {
+    std::shared_ptr<void> Body; ///< owns the BlockFn (deleter knows the type)
+    const void *TypeId;         ///< kernelIdentity of the stored closure
+  };
+  std::vector<Slot> Slots;
+  std::size_t Cursor = 0;
+};
+
+/// submitKeptLaunch with the body parked in a reusable \p Cache instead
+/// of a per-step keep-alive vector — the zero-allocation steady-state
+/// submission shape for drivers that issue the same chain every step.
+template <typename BlockFn>
+ExecEvent submitCachedLaunch(ExecutionBackend &Backend,
+                             const ExecutionContext &Ctx, RunStats &Stats,
+                             Index Items, Index GrainHint, BlockFn Block,
+                             const std::vector<ExecEvent> &DependsOn,
+                             KernelCache &Cache, int ShardAffinity = -1) {
+  const BlockFn &Body = Cache.emplace(std::move(Block));
+  LaunchSpec Spec;
+  Spec.Items = Items;
+  Spec.StepBegin = 0;
+  Spec.StepEnd = 1;
+  Spec.GrainHint = GrainHint;
+  Spec.ShardAffinity = ShardAffinity;
+  Spec.DependsOn = DependsOn;
+  Stats.SpecsBuilt += 1;
+  return Backend.submit(Spec, StepKernel(Body, kernelIdentity<BlockFn>()),
+                        Ctx, Stats);
+}
+
+/// submitKeptLaunch over a reusable KernelCache: the overload that lets
+/// chain drivers (deposit, FDTD, spectral) be templated on the
+/// keep-alive storage type — per-step KernelKeepAlive for one-shot call
+/// sites, KernelCache for steady-state steps and graph capture.
+template <typename BlockFn>
+ExecEvent submitKeptLaunch(ExecutionBackend &Backend,
+                           const ExecutionContext &Ctx, RunStats &Stats,
+                           Index Items, Index GrainHint, BlockFn Block,
+                           const std::vector<ExecEvent> &DependsOn,
+                           KernelCache &Cache, int ShardAffinity = -1) {
+  return submitCachedLaunch(Backend, Ctx, Stats, Items, GrainHint,
+                            std::move(Block), DependsOn, Cache,
+                            ShardAffinity);
 }
 
 /// Submits an empty ordering-only launch that depends on every event in
@@ -287,6 +448,15 @@ inline ExecEvent submitJoin(ExecutionBackend &Backend,
                             KernelKeepAlive &Keep) {
   return submitKeptLaunch(Backend, Ctx, Stats, /*Items=*/0, /*GrainHint=*/0,
                           [](Index, Index, int, int) {}, DependsOn, Keep);
+}
+
+/// submitJoin over a reusable KernelCache (see submitCachedLaunch).
+inline ExecEvent submitJoin(ExecutionBackend &Backend,
+                            const ExecutionContext &Ctx, RunStats &Stats,
+                            const std::vector<ExecEvent> &DependsOn,
+                            KernelCache &Cache) {
+  return submitCachedLaunch(Backend, Ctx, Stats, /*Items=*/0, /*GrainHint=*/0,
+                            [](Index, Index, int, int) {}, DependsOn, Cache);
 }
 
 } // namespace exec

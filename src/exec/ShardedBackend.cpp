@@ -48,9 +48,10 @@ void ShardedBackend::drain() {
   }
 }
 
-ExecEvent ShardedBackend::submit(const LaunchSpec &Spec,
-                                 const StepKernel &Kernel,
-                                 const ExecutionContext &, RunStats &Stats) {
+ExecEvent ShardedBackend::submitImpl(const LaunchSpec &Spec,
+                                     const StepKernel &Kernel,
+                                     const ExecutionContext &,
+                                     RunStats &Stats) {
   const int K = shardCount();
   const bool Empty = Spec.Items <= 0 || Spec.StepEnd <= Spec.StepBegin;
 

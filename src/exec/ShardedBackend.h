@@ -127,9 +127,6 @@ public:
   int concurrency() const override { return int(Shards.size()); }
   int shardCount() const override { return int(Shards.size()); }
 
-  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
-                   const ExecutionContext &Ctx, RunStats &Stats) override;
-
   /// Blocks until every launch submitted so far has completed on every
   /// shard, then releases retired arena buffers. Host-side only (the
   /// destructor drains implicitly).
@@ -146,6 +143,10 @@ public:
 
   /// Snapshot of every shard's lifetime counters, in shard order.
   std::vector<ShardStat> shardStats() const;
+
+protected:
+  ExecEvent submitImpl(const LaunchSpec &Spec, const StepKernel &Kernel,
+                       const ExecutionContext &Ctx, RunStats &Stats) override;
 
 private:
   /// One unit of lane work: the pre-bound task body, the launch's

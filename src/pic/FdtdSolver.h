@@ -189,13 +189,14 @@ public:
   /// Ey/Ez halo planes, then sweeps its owned planes. \returns the
   /// launch's event; kernel bodies are parked in \p Keep until the
   /// caller's final wait.
+  template <typename KeepT>
   exec::ExecEvent submitAdvanceB(YeeGrid<Real> &Grid, Real Dt,
                                  FdtdSlabPartition<Real> &Partition,
                                  exec::ExecutionBackend &Backend,
                                  const exec::ExecutionContext &Ctx,
                                  RunStats &Stats,
                                  const std::vector<exec::ExecEvent> &DependsOn,
-                                 exec::KernelKeepAlive &Keep) const {
+                                 KeepT &Keep) const {
     YeeGrid<Real> *G = &Grid;
     FdtdSlabPartition<Real> *Part = &Partition;
     const Real LightC = C;
@@ -211,13 +212,14 @@ public:
   /// Each tile captures its -x-face By/Bz halo planes, then sweeps. The
   /// only field-solve launch that reads J — its dependency list is where
   /// the deposit reduction's event goes.
+  template <typename KeepT>
   exec::ExecEvent submitAdvanceE(YeeGrid<Real> &Grid, Real Dt,
                                  FdtdSlabPartition<Real> &Partition,
                                  exec::ExecutionBackend &Backend,
                                  const exec::ExecutionContext &Ctx,
                                  RunStats &Stats,
                                  const std::vector<exec::ExecEvent> &DependsOn,
-                                 exec::KernelKeepAlive &Keep) const {
+                                 KeepT &Keep) const {
     YeeGrid<Real> *G = &Grid;
     FdtdSlabPartition<Real> *Part = &Partition;
     const Real LightC = C;
@@ -235,15 +237,22 @@ public:
   /// currents — the B launches never read J, so the first half-step may
   /// overlap the reduction); the trailing B launch waits the E launch.
   /// \returns the trailing launch's event. Wait it (and only then read
-  /// \p Stats or drop \p Keep) before touching the fields.
+  /// \p Stats or drop \p Keep) before touching the fields. \p After
+  /// gates the first half-step: host-ordered callers (who waited the
+  /// push stage before submitting) leave it empty, while a step-graph
+  /// capture passes the wrap event there — the B advance writes fields
+  /// the push stage's interpolation reads, and under replay only the
+  /// recorded edges order the two.
+  template <typename KeepT>
   exec::ExecEvent submitStep(YeeGrid<Real> &Grid, Real Dt,
                              FdtdSlabPartition<Real> &Partition,
                              exec::ExecutionBackend &Backend,
                              const exec::ExecutionContext &Ctx,
                              RunStats &Stats, const exec::ExecEvent &JReady,
-                             exec::KernelKeepAlive &Keep) const {
+                             KeepT &Keep,
+                             const std::vector<exec::ExecEvent> &After = {}) const {
     const exec::ExecEvent FirstHalf = submitAdvanceB(
-        Grid, Dt / Real(2), Partition, Backend, Ctx, Stats, {}, Keep);
+        Grid, Dt / Real(2), Partition, Backend, Ctx, Stats, After, Keep);
     const exec::ExecEvent Full =
         submitAdvanceE(Grid, Dt, Partition, Backend, Ctx, Stats,
                        {FirstHalf, JReady}, Keep);
@@ -341,13 +350,13 @@ private:
 
   /// One launch over \p Items tiles (GrainHint = 1, one time step), with
   /// the body parked in \p Keep for the asynchronous lifetime contract.
-  template <typename BlockFn>
+  template <typename BlockFn, typename KeepT>
   static exec::ExecEvent
   submitOverTiles(exec::ExecutionBackend &Backend,
                   const exec::ExecutionContext &Ctx, RunStats &Stats,
                   Index Items, BlockFn Block,
                   const std::vector<exec::ExecEvent> &DependsOn,
-                  exec::KernelKeepAlive &Keep) {
+                  KeepT &Keep) {
     return exec::submitKeptLaunch(Backend, Ctx, Stats, Items,
                                   /*GrainHint=*/1, std::move(Block),
                                   DependsOn, Keep);

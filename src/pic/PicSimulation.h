@@ -51,6 +51,7 @@
 #include "exec/BackendRegistry.h"
 #include "exec/ShardedBackend.h"
 #include "exec/SlabPartition.h"
+#include "exec/StepGraph.h"
 #include "pic/CurrentDeposition.h"
 #include "pic/FdtdSolver.h"
 #include "pic/FieldInterpolator.h"
@@ -130,6 +131,15 @@ template <typename Real> struct PicOptions {
   /// schedulable k-space chunks per launch for the spectral solver;
   /// 0 = auto (1 for the serial backend, else two per worker).
   int FieldTiles = 0;
+
+  /// Capture the five-stage step's launch DAG on the first step and
+  /// *replay* it on every later one (exec/StepGraph.h): specs, kernel
+  /// bodies and dependency edges are resolved once, and each replayed
+  /// step only rebinds the step index and simulation time through the
+  /// ParamBlock. Bit-identical to the per-step resubmission path for
+  /// every backend, solver, layout and tile/shard count; the graph is
+  /// invalidated (and recaptured) when the ensemble size changes.
+  bool UseStepGraph = false;
 };
 
 /// Accumulated timing of the double-buffered precalc/push pipeline (only
@@ -218,14 +228,42 @@ public:
     Particles.pushBack(P);
   }
 
-  /// Advances the simulation by one step.
+  /// Advances the simulation by one step. With PicOptions::UseStepGraph
+  /// the first step executes through a graph-capturing wrapper and every
+  /// later step replays the captured launch DAG with only the step
+  /// index and simulation time rebound; the classic host-ordered path
+  /// runs otherwise (both bit-identical,
+  /// tests/pic/GraphEquivalenceTest.cpp).
   void step() {
+    if (Options.UseStepGraph) {
+      if (Graph && Graph->instantiated() &&
+          GraphN == Particles.view().size())
+        replayStep();
+      else
+        captureStep();
+      return;
+    }
+    classicStep();
+  }
+
+private:
+  /// The classic host-ordered step: stages execute in program order with
+  /// host waits between them, resubmitting every launch.
+  void classicStep() {
     const Real Dt = Options.TimeStep;
     const Real C = Options.LightVelocity;
     auto View = Particles.view();
     const Index N = View.size();
     const ParticleTypeInfo<Real> *TypesPtr = Types.data();
     YeeInterpolator<Real> Interp(Grid);
+
+    // Per-step rebinding surface (kernel bodies read the simulation
+    // time through it) and the reusable kernel-body caches — rewound,
+    // not reallocated, so the steady state allocates nothing.
+    StepParams.StepIndex = Steps;
+    StepParams.Scalars[0] = double(CurrentTime);
+    StageCache.rewind();
+    ChainCache.rewind();
 
     Grid.clearCurrent();
 
@@ -235,7 +273,6 @@ public:
     // of the same move.
     OldPositions.resize(std::size_t(N));
     Vector3<Real> *OldPos = OldPositions.data();
-    const Real Time = CurrentTime;
     exec::ExecutionContext Ctx;
     Ctx.Queue = Queue.get();
     if (PushSharded() && N > 0) {
@@ -244,27 +281,19 @@ public:
       // its own first-touched arena and pushes it on its own lane,
       // routed by shard affinity (same per-particle operation sequence
       // as the fused serial kernel, hence the same bits).
-      shardedInterpPush(View, Interp, OldPos, TypesPtr, Dt, C, N, Time, Ctx);
+      shardedInterpPush(*Backend, View, Interp, OldPos, TypesPtr, Dt, C, N,
+                        Ctx);
     } else if (Backend->isAsynchronous() && N > 0) {
       // Asynchronous backend: the double-buffered precalc/push pipeline
       // (same per-particle operation sequence, hence the same bits).
-      pipelinedInterpPush(View, Interp, OldPos, TypesPtr, Dt, C, N, Time,
+      pipelinedInterpPush(*Backend, View, Interp, OldPos, TypesPtr, Dt, C, N,
                           Ctx);
     } else {
-      auto Block = [=](Index Begin, Index End, int, int) {
-        for (Index I = Begin; I < End; ++I) {
-          auto P = View[I];
-          const Vector3<Real> Pos = P.position();
-          OldPos[I] = Pos;
-          const FieldSample<Real> F = Interp(Pos, Time, I);
-          BorisPusher::push<Real>(P, F, TypesPtr, Dt, C);
-        }
-      };
-      const exec::StepKernel Kernel(Block,
-                                    exec::kernelIdentity<decltype(Block)>());
       // One step per launch: the deposition below couples particles, so
       // multi-step fusion is not legal for the PIC loop.
-      Backend->launch({N, Steps, Steps + 1}, Kernel, Ctx, PushTiming);
+      fusedInterpPush(*Backend, View, Interp, OldPos, TypesPtr, Dt, C, N,
+                      Ctx)
+          .wait();
     }
 
     // Stage 2 — wrap positions back into the box, keeping the unwrapped
@@ -287,20 +316,14 @@ public:
     // field backend the reduction's tail overlaps the first FDTD
     // half-step. Kernel bodies live in ChainKernels until the final
     // wait (the asynchronous lifetime contract).
-    exec::KernelKeepAlive ChainKernels;
     exec::ExecEvent JReady;
-    // Kernel-only share; the stage metric is wall. Function-scoped, not
-    // block-scoped: asynchronous deposit launches write it until JReady
-    // completes, which can be after the stage-3 block exits when an
-    // asynchronous field backend skips the inline wait below.
-    RunStats DepositLaunchStats;
     {
       Stopwatch Watch;
       JReady = Accumulator->submitDeposit(Grid, View, OldPos, NewPos,
                                           TypesPtr, Dt,
                                           Options.ChargeConserving,
                                           *DepositExec, Ctx,
-                                          DepositLaunchStats, ChainKernels);
+                                          DepositLaunchStats, ChainCache);
       if (!FieldExec->isAsynchronous())
         JReady.wait(); // keep the serial stage-wall attribution exact
       const double Ns = double(Watch.elapsedNanoseconds());
@@ -312,14 +335,13 @@ public:
       // On an asynchronous field backend this wall includes the deposit
       // tail the chain hides — the stage boundary blurs by design.
       Stopwatch Watch;
-      RunStats LaunchStats;
       const exec::ExecEvent FieldsDone =
           Spectral ? Spectral->submitStep(Grid, Dt, *FieldExec, Ctx,
-                                          FieldTileCount, LaunchStats,
-                                          JReady, ChainKernels)
+                                          FieldTileCount, FieldLaunchStats,
+                                          JReady, ChainCache)
                    : Solver.submitStep(Grid, Dt, *FieldPartition, *FieldExec,
-                                       Ctx, LaunchStats, JReady,
-                                       ChainKernels);
+                                       Ctx, FieldLaunchStats, JReady,
+                                       ChainCache);
       FieldsDone.wait();
       JReady.wait(); // retire the deposit launches' stats publication too
       const double Ns = double(Watch.elapsedNanoseconds());
@@ -333,6 +355,142 @@ public:
       sortByCell(Particles, Indexer);
   }
 
+  /// Graph-mode first step: runs the full five-stage step through
+  /// graph-capturing wrappers so every launch is recorded into a fresh
+  /// StepGraph while executing normally (the capture step itself is
+  /// bit-identical to classicStep — stage 2's host loop and the host
+  /// J-clear simply become captured nodes, and the explicit edges
+  /// reproduce the orderings the classic host waits provided). The
+  /// instantiated graph is keyed on the ensemble size; any size change
+  /// discards it and recaptures.
+  void captureStep() {
+    const Real Dt = Options.TimeStep;
+    const Real C = Options.LightVelocity;
+    auto View = Particles.view();
+    const Index N = View.size();
+    const ParticleTypeInfo<Real> *TypesPtr = Types.data();
+    YeeInterpolator<Real> Interp(Grid);
+
+    StepParams.StepIndex = Steps;
+    StepParams.Scalars[0] = double(CurrentTime);
+
+    // A fresh graph owns nothing: kernel bodies live in the member
+    // caches (cleared, then rebuilt by this capture so replays keep
+    // pointing at stable storage) and stats in member RunStats.
+    Graph = std::make_unique<exec::StepGraph>(&StepParams);
+    PushCap = std::make_unique<exec::GraphCapture>(*Backend, *Graph);
+    DepositCap = std::make_unique<exec::GraphCapture>(*DepositExec, *Graph);
+    FieldCap = std::make_unique<exec::GraphCapture>(*FieldExec, *Graph);
+    StageCache.clear();
+    ChainCache.clear();
+
+    OldPositions.resize(std::size_t(N));
+    NewPositions.resize(std::size_t(N));
+    Vector3<Real> *OldPos = OldPositions.data();
+    Vector3<Real> *NewPos = NewPositions.data();
+    exec::ExecutionContext Ctx;
+    Ctx.Queue = Queue.get();
+
+    Stopwatch Wall;
+
+    // The J clear as a captured node (host call in classic mode): the
+    // deposit chain's bin/reduce depend on it, replacing program order.
+    DepositLaunchStats.SpecsBuilt += 1;
+    exec::LaunchSpec ClearSpec;
+    ClearSpec.Items = 1;
+    ClearSpec.StepBegin = Steps;
+    ClearSpec.StepEnd = Steps + 1;
+    const ClearCurrentBody &ClearBody =
+        StageCache.emplace(ClearCurrentBody{&Grid});
+    const exec::ExecEvent Cleared = DepositCap->submit(
+        ClearSpec,
+        exec::StepKernel(ClearBody, exec::kernelIdentity<ClearCurrentBody>()),
+        Ctx, DepositLaunchStats);
+
+    // Stage 1 through the capturing wrapper — same routing as classic.
+    std::vector<exec::ExecEvent> PushDone;
+    if (PushSharded() && N > 0) {
+      PushDone = shardedInterpPush(*PushCap, View, Interp, OldPos, TypesPtr,
+                                   Dt, C, N, Ctx);
+    } else if (Backend->isAsynchronous() && N > 0) {
+      PushDone = pipelinedInterpPush(*PushCap, View, Interp, OldPos, TypesPtr,
+                                     Dt, C, N, Ctx);
+    } else {
+      PushDone.push_back(
+          fusedInterpPush(*PushCap, View, Interp, OldPos, TypesPtr, Dt, C, N,
+                          Ctx));
+    }
+
+    // Stage 2 (the wrap) as a captured node gated on every push launch —
+    // under replay the host no longer stands between the stages.
+    PushTiming.SpecsBuilt += 1;
+    exec::LaunchSpec WrapSpec;
+    WrapSpec.Items = N;
+    WrapSpec.StepBegin = Steps;
+    WrapSpec.StepEnd = Steps + 1;
+    WrapSpec.DependsOn = PushDone;
+    const WrapBody &Wrap = StageCache.emplace(WrapBody{View, NewPos, &Grid});
+    const exec::ExecEvent Wrapped = PushCap->submit(
+        WrapSpec, exec::StepKernel(Wrap, exec::kernelIdentity<WrapBody>()),
+        Ctx, PushTiming);
+
+    // Stages 3 + 4. BinOnBackend turns the host-side cell binning into a
+    // captured node (gated on {Wrapped, Cleared}); the field solve's
+    // first half-step additionally waits the wrap for the FDTD path,
+    // because advanceB writes the B lattice stage 1 reads and replay has
+    // no host ordering to protect that (the spectral solver's gather is
+    // transitively ordered through JReady already).
+    const exec::ExecEvent JReady = Accumulator->submitDeposit(
+        Grid, View, OldPos, NewPos, TypesPtr, Dt, Options.ChargeConserving,
+        *DepositCap, Ctx, DepositLaunchStats, ChainCache,
+        {Wrapped, Cleared}, /*BinOnBackend=*/true);
+    const exec::ExecEvent FieldsDone =
+        Spectral ? Spectral->submitStep(Grid, Dt, *FieldCap, Ctx,
+                                        FieldTileCount, FieldLaunchStats,
+                                        JReady, ChainCache)
+                 : Solver.submitStep(Grid, Dt, *FieldPartition, *FieldCap,
+                                     Ctx, FieldLaunchStats, JReady,
+                                     ChainCache, {Wrapped});
+    FieldsDone.wait();
+    JReady.wait();
+
+    if (!Graph->instantiate())
+      Graph.reset(); // empty capture (defensive); next step recaptures
+    GraphN = N;
+    ++GraphCaptures;
+    const double Ns = double(Wall.elapsedNanoseconds());
+    GraphTiming.HostNs += Ns;
+    GraphTiming.ModeledNs += Ns;
+
+    CurrentTime += Dt;
+    ++Steps;
+    if (Options.SortEveryNSteps > 0 && Steps % Options.SortEveryNSteps == 0)
+      sortByCell(Particles, Indexer);
+  }
+
+  /// Graph-mode steady state: rebinds the step index and simulation time
+  /// in the ParamBlock and re-issues the captured DAG — no specs built,
+  /// no kernel bodies constructed, no counted launches. sortByCell
+  /// between replays is safe: it permutes particle storage in place, so
+  /// every captured pointer stays valid.
+  void replayStep() {
+    StepParams.StepIndex = Steps;
+    StepParams.Scalars[0] = double(CurrentTime);
+    exec::ExecutionContext Ctx;
+    Ctx.Queue = Queue.get();
+    Stopwatch Wall;
+    Graph->replay(Ctx);
+    const double Ns = double(Wall.elapsedNanoseconds());
+    GraphTiming.HostNs += Ns;
+    GraphTiming.ModeledNs += Ns;
+    ++GraphReplays;
+    CurrentTime += Options.TimeStep;
+    ++Steps;
+    if (Options.SortEveryNSteps > 0 && Steps % Options.SortEveryNSteps == 0)
+      sortByCell(Particles, Indexer);
+  }
+
+public:
   /// Advances \p N steps.
   void run(int N) {
     for (int I = 0; I < N; ++I)
@@ -397,6 +555,53 @@ public:
   /// far (on asynchronous field backends it includes the overlapped
   /// deposit tail).
   const RunStats &fieldStats() const { return FieldTiming; }
+
+  /// Per-launch ledgers of the stage-1 precalc/push kernels (the
+  /// pipelined and sharded shapes; all zeros when stage 1 runs fused).
+  const RunStats &precalcKernelStats() const { return PrecalcKernelTiming; }
+  const RunStats &pushKernelStats() const { return PushKernelTiming; }
+
+  /// Per-launch ledger of the deposit chain (clear + bin + accumulate +
+  /// reduce): launches, specs built and submit-overhead nanoseconds.
+  const RunStats &depositLaunchStats() const { return DepositLaunchStats; }
+
+  /// Per-launch ledger of the field-solve chain.
+  const RunStats &fieldLaunchStats() const { return FieldLaunchStats; }
+
+  /// Wall time of graph-mode steps (the capture step and every replay);
+  /// zeros unless PicOptions::UseStepGraph.
+  const RunStats &graphStats() const { return GraphTiming; }
+
+  /// True when steps run through the captured step graph.
+  bool usesStepGraph() const { return Options.UseStepGraph; }
+
+  /// Times a step graph was captured (>1 means invalidations happened).
+  long long graphCaptureCount() const { return GraphCaptures; }
+
+  /// Steps replayed from the captured graph.
+  long long graphReplayCount() const { return GraphReplays; }
+
+  /// The captured step graph, or null before the first graph-mode step
+  /// (diagnostics and tests).
+  const exec::StepGraph *stepGraph() const { return Graph.get(); }
+
+  /// Submit-overhead totals across every per-launch ledger the step
+  /// touches (stage-1 push/precalc/push-kernel stats plus the deposit
+  /// and field chains): launches submitted, specs constructed, and wall
+  /// nanoseconds inside submit() outside kernel bodies. Timing fields
+  /// are left zero — this is the launch-bookkeeping view, not a wall
+  /// clock.
+  RunStats submitOverhead() const {
+    RunStats Total;
+    for (const RunStats *S :
+         {&PushTiming, &PrecalcKernelTiming, &PushKernelTiming,
+          &DepositLaunchStats, &FieldLaunchStats}) {
+      Total.Launches += S->Launches;
+      Total.SpecsBuilt += S->SpecsBuilt;
+      Total.SubmitNs += S->SubmitNs;
+    }
+    return Total;
+  }
 
   /// True if stage 1 runs as the double-buffered precalc/push pipeline
   /// (the push backend is asynchronous and not sharded — the sharded
@@ -463,9 +668,10 @@ private:
     Vector3<Real> *OldPos;
     FieldSample<Real> *Samples;
     Index Offset;
-    Real Time;
+    const exec::ParamBlock *Params; ///< Scalars[0] = simulation time
 
     void operator()(Index Begin, Index End, int, int) const {
+      const Real Time = Real(Params->Scalars[0]);
       for (Index I = Begin; I < End; ++I) {
         auto P = View[Offset + I];
         const Vector3<Real> Pos = P.position();
@@ -493,27 +699,107 @@ private:
     }
   };
 
+  /// The fused interpolate+push kernel of the synchronous stage 1 — a
+  /// named body (not a step()-local lambda) so it can live in the
+  /// reusable kernel cache across steps and a captured graph can keep
+  /// pointing at it; the per-step simulation time flows in through the
+  /// ParamBlock.
+  struct FusedPushBody {
+    ViewT View;
+    YeeInterpolator<Real> Interp;
+    Vector3<Real> *OldPos;
+    const ParticleTypeInfo<Real> *Types;
+    Real Dt, C;
+    const exec::ParamBlock *Params; ///< Scalars[0] = simulation time
+
+    void operator()(Index Begin, Index End, int, int) const {
+      const Real Time = Real(Params->Scalars[0]);
+      for (Index I = Begin; I < End; ++I) {
+        auto P = View[I];
+        const Vector3<Real> Pos = P.position();
+        OldPos[I] = Pos;
+        const FieldSample<Real> F = Interp(Pos, Time, I);
+        BorisPusher::push<Real>(P, F, Types, Dt, C);
+      }
+    }
+  };
+
+  /// Stage 2 (position wrap) as a submittable kernel, for graph capture:
+  /// writes each particle's unwrapped endpoint and wraps it into the
+  /// box. Per-particle independent, so any partition is bit-identical
+  /// to the classic host loop.
+  struct WrapBody {
+    ViewT View;
+    Vector3<Real> *NewPos;
+    YeeGrid<Real> *Grid;
+
+    void operator()(Index Begin, Index End, int, int) const {
+      for (Index I = Begin; I < End; ++I) {
+        auto P = View[I];
+        const Vector3<Real> Pos = P.position();
+        NewPos[I] = Pos;
+        P.setPosition(Grid->wrapPosition(Pos));
+      }
+    }
+  };
+
+  /// Grid.clearCurrent() as a submittable kernel (one item), for graph
+  /// capture: under replay the J clear must be a node ordered before the
+  /// deposit reduction, not a host call.
+  struct ClearCurrentBody {
+    YeeGrid<Real> *Grid;
+
+    void operator()(Index, Index, int, int) const { Grid->clearCurrent(); }
+  };
+
+  /// Stage 1 as one fused interpolate+push launch through \p Exec (the
+  /// real push backend, or its graph-capturing wrapper). \returns the
+  /// launch's event; the body lives in the reusable stage cache.
+  exec::ExecEvent fusedInterpPush(exec::ExecutionBackend &Exec,
+                                  const ViewT &View,
+                                  const YeeInterpolator<Real> &Interp,
+                                  Vector3<Real> *OldPos,
+                                  const ParticleTypeInfo<Real> *TypesPtr,
+                                  Real Dt, Real C, Index N,
+                                  const exec::ExecutionContext &Ctx) {
+    const FusedPushBody &Body = StageCache.emplace(
+        FusedPushBody{View, Interp, OldPos, TypesPtr, Dt, C, &StepParams});
+    exec::LaunchSpec Spec;
+    Spec.Items = N;
+    Spec.StepBegin = Steps;
+    Spec.StepEnd = Steps + 1;
+    PushTiming.SpecsBuilt += 1;
+    return Exec.submit(
+        Spec, exec::StepKernel(Body, exec::kernelIdentity<FusedPushBody>()),
+        Ctx, PushTiming);
+  }
+
   /// Stage 1 as a double-buffered pipeline of non-blocking submissions:
   /// precalc(k) fills buffer k%2 (waiting push(k-2), which frees it),
   /// push(k) depends on precalc(k); on two lanes precalc(k+1) therefore
   /// overlaps push(k). Every dependency points at an earlier submission,
   /// so the pipeline cannot deadlock; the trailing waits also retire the
   /// per-stage stats before anyone reads them.
-  void pipelinedInterpPush(const ViewT &View,
-                           const YeeInterpolator<Real> &Interp,
-                           Vector3<Real> *OldPos,
-                           const ParticleTypeInfo<Real> *TypesPtr, Real Dt,
-                           Real C, Index N, Real Time,
-                           const exec::ExecutionContext &Ctx) {
+  /// \returns the push launches' events (already waited — they gate the
+  /// downstream wrap node when a graph capture records this stage).
+  std::vector<exec::ExecEvent>
+  pipelinedInterpPush(exec::ExecutionBackend &Exec, const ViewT &View,
+                      const YeeInterpolator<Real> &Interp,
+                      Vector3<Real> *OldPos,
+                      const ParticleTypeInfo<Real> *TypesPtr, Real Dt,
+                      Real C, Index N,
+                      const exec::ExecutionContext &Ctx) {
     const Index ChunkSize = pipelineChunkSize(N);
     const int Chunks = int((N + ChunkSize - 1) / ChunkSize);
     PipelineSamples[0].resize(std::size_t(ChunkSize));
     PipelineSamples[1].resize(std::size_t(ChunkSize));
 
-    // Kernel bodies live here (reserved, so addresses are stable) until
-    // every event below is waited — the asynchronous lifetime contract.
-    std::vector<PipelinePrecalcBody> PrecalcBodies;
-    std::vector<PipelinePushBody> PushBodies;
+    // Kernel bodies live in member vectors (cleared, not reallocated,
+    // so the steady state allocates nothing and the addresses stay
+    // stable for a captured graph) until every event below is waited —
+    // the asynchronous lifetime contract.
+    PrecalcBodies.clear();
+    PushBodies.clear();
     std::vector<exec::ExecEvent> PrecalcEvents, PushEvents;
     PrecalcBodies.reserve(std::size_t(Chunks));
     PushBodies.reserve(std::size_t(Chunks));
@@ -528,15 +814,16 @@ private:
         break;
       FieldSample<Real> *Buf = PipelineSamples[K % 2].data();
 
-      PrecalcBodies.push_back(
-          PipelinePrecalcBody{View, Interp, OldPos, Buf, Begin, Time});
+      PrecalcBodies.push_back(PipelinePrecalcBody{View, Interp, OldPos, Buf,
+                                                  Begin, &StepParams});
       exec::LaunchSpec PrecalcSpec;
       PrecalcSpec.Items = End - Begin;
       PrecalcSpec.StepBegin = Steps;
       PrecalcSpec.StepEnd = Steps + 1;
       if (K >= 2) // buffer K%2 is free once push(K-2) has consumed it
         PrecalcSpec.DependsOn.push_back(PushEvents[std::size_t(K - 2)]);
-      PrecalcEvents.push_back(Backend->submit(
+      PrecalcKernelTiming.SpecsBuilt += 1;
+      PrecalcEvents.push_back(Exec.submit(
           PrecalcSpec,
           exec::StepKernel(PrecalcBodies.back(),
                            exec::kernelIdentity<PipelinePrecalcBody>()),
@@ -549,7 +836,8 @@ private:
       PushSpec.StepBegin = Steps;
       PushSpec.StepEnd = Steps + 1;
       PushSpec.DependsOn.push_back(PrecalcEvents.back());
-      PushEvents.push_back(Backend->submit(
+      PushKernelTiming.SpecsBuilt += 1;
+      PushEvents.push_back(Exec.submit(
           PushSpec,
           exec::StepKernel(PushBodies.back(),
                            exec::kernelIdentity<PipelinePushBody>()),
@@ -566,6 +854,7 @@ private:
     PipelineTiming.WallNs += WallNs;
     PipelineTiming.PrecalcNs = PrecalcKernelTiming.HostNs;
     PipelineTiming.PushNs = PushKernelTiming.HostNs;
+    return PushEvents;
   }
   /// The push backend as a ShardedBackend, or nullptr. (shardCount() is
   /// the cheap capability query; the concrete type is needed for the
@@ -587,20 +876,25 @@ private:
   /// particle replays the fused kernel's exact operation sequence, so
   /// the result is bit-identical to the serial stage for every shard
   /// count (tests/pic/ShardEquivalenceTest.cpp).
-  void shardedInterpPush(const ViewT &View,
-                         const YeeInterpolator<Real> &Interp,
-                         Vector3<Real> *OldPos,
-                         const ParticleTypeInfo<Real> *TypesPtr, Real Dt,
-                         Real C, Index N, Real Time,
-                         const exec::ExecutionContext &Ctx) {
+  /// \returns the push launches' events (already waited — they gate the
+  /// downstream wrap node when a graph capture records this stage).
+  /// Arenas always come from the concrete sharded backend; submissions
+  /// go through \p Exec so a graph-capturing wrapper can record them.
+  std::vector<exec::ExecEvent>
+  shardedInterpPush(exec::ExecutionBackend &Exec, const ViewT &View,
+                    const YeeInterpolator<Real> &Interp,
+                    Vector3<Real> *OldPos,
+                    const ParticleTypeInfo<Real> *TypesPtr, Real Dt, Real C,
+                    Index N, const exec::ExecutionContext &Ctx) {
     exec::ShardedBackend *Sharded = PushSharded();
     const Index Blocks =
         exec::clampSlabCount(N, Index(Sharded->shardCount()));
 
-    // Kernel bodies live here (reserved, stable addresses) until every
-    // event below is waited — the asynchronous lifetime contract.
-    std::vector<PipelinePrecalcBody> PrecalcBodies;
-    std::vector<PipelinePushBody> PushBodies;
+    // Kernel bodies live in member vectors (cleared, not reallocated —
+    // stable addresses for the captured graph, nothing allocated in
+    // steady state) until every event below is waited.
+    PrecalcBodies.clear();
+    PushBodies.clear();
     std::vector<exec::ExecEvent> PushEvents;
     PrecalcBodies.reserve(std::size_t(Blocks));
     PushBodies.reserve(std::size_t(Blocks));
@@ -612,14 +906,15 @@ private:
       auto *Buf = static_cast<FieldSample<Real> *>(Sharded->shardArena(
           int(S), sizeof(FieldSample<Real>) * std::size_t(R.size())));
 
-      PrecalcBodies.push_back(
-          PipelinePrecalcBody{View, Interp, OldPos, Buf, R.Begin, Time});
+      PrecalcBodies.push_back(PipelinePrecalcBody{View, Interp, OldPos, Buf,
+                                                  R.Begin, &StepParams});
       exec::LaunchSpec PrecalcSpec;
       PrecalcSpec.Items = R.size();
       PrecalcSpec.StepBegin = Steps;
       PrecalcSpec.StepEnd = Steps + 1;
       PrecalcSpec.ShardAffinity = int(S);
-      const exec::ExecEvent Sampled = Sharded->submit(
+      PrecalcKernelTiming.SpecsBuilt += 1;
+      const exec::ExecEvent Sampled = Exec.submit(
           PrecalcSpec,
           exec::StepKernel(PrecalcBodies.back(),
                            exec::kernelIdentity<PipelinePrecalcBody>()),
@@ -633,7 +928,8 @@ private:
       PushSpec.StepEnd = Steps + 1;
       PushSpec.ShardAffinity = int(S);
       PushSpec.DependsOn.push_back(Sampled);
-      PushEvents.push_back(Sharded->submit(
+      PushKernelTiming.SpecsBuilt += 1;
+      PushEvents.push_back(Exec.submit(
           PushSpec,
           exec::StepKernel(PushBodies.back(),
                            exec::kernelIdentity<PipelinePushBody>()),
@@ -645,6 +941,7 @@ private:
     const double WallNs = double(Wall.elapsedNanoseconds());
     PushTiming.HostNs += WallNs; // stage-1 stats stay wall-clock true
     PushTiming.ModeledNs += WallNs;
+    return PushEvents;
   }
 
   /// The pipeline chunk size for an ensemble of \p N: ceil(N / R) where
@@ -703,7 +1000,20 @@ private:
   RunStats FieldTiming;
   RunStats PrecalcKernelTiming; ///< pipeline precalc kernels only
   RunStats PushKernelTiming;    ///< pipeline push kernels only
+  RunStats DepositLaunchStats;  ///< deposit-chain launch ledger
+  RunStats FieldLaunchStats;    ///< field-chain launch ledger
+  RunStats GraphTiming;         ///< graph-mode step wall (capture+replay)
   PicPipelineStats PipelineTiming;
+  exec::ParamBlock StepParams; ///< per-step rebinding surface
+  exec::KernelCache StageCache; ///< stage-level bodies (push/wrap/clear)
+  exec::KernelCache ChainCache; ///< deposit + field chain bodies
+  std::vector<PipelinePrecalcBody> PrecalcBodies; ///< stage-1 bodies
+  std::vector<PipelinePushBody> PushBodies;       ///< (stable addresses)
+  std::unique_ptr<exec::StepGraph> Graph;
+  std::unique_ptr<exec::GraphCapture> PushCap, DepositCap, FieldCap;
+  Index GraphN = Index(-1); ///< ensemble size the graph was captured at
+  long long GraphCaptures = 0;
+  long long GraphReplays = 0;
   int FieldTileCount = 1;
   Real CurrentTime = Real(0);
   int Steps = 0;

@@ -104,11 +104,12 @@ public:
   /// (the first launch that reads the grid, J included). \returns the
   /// scatter launch's event; wait it (and only then read \p Stats or
   /// drop \p Keep) before touching the fields.
+  template <typename KeepT>
   exec::ExecEvent submitStep(YeeGrid<Real> &Grid, Real Dt,
                              exec::ExecutionBackend &Backend,
                              const exec::ExecutionContext &Ctx, int Tiles,
                              RunStats &Stats, const exec::ExecEvent &JReady,
-                             exec::KernelKeepAlive &Keep) {
+                             KeepT &Keep) {
     prepareBuffers();
     SpectralSolver *Self = this;
     YeeGrid<Real> *G = &Grid;
@@ -309,11 +310,12 @@ private:
 
   /// Submits the z → y → x pass chain over spectrum \p S; each pass is
   /// one launch whose items are the pass's independent 1-D lines.
+  template <typename KeepT>
   exec::ExecEvent submitPasses(exec::ExecutionBackend &Backend,
                                const exec::ExecutionContext &Ctx,
                                RunStats &Stats, int S, bool Inverse,
                                int Tiles, const exec::ExecEvent &After,
-                               exec::KernelKeepAlive &Keep) {
+                               KeepT &Keep) {
     SpectralSolver *Self = this;
     exec::ExecEvent Prev = After;
     for (FftAxis Axis : {FftAxis::Z, FftAxis::Y, FftAxis::X}) {

@@ -168,23 +168,30 @@ public:
         .wait();
   }
 
-  /// The event-chained form of deposit(): bins on the host, then submits
-  /// the accumulate and reduce phases as non-blocking launches (reduce
+  /// The event-chained form of deposit(): bins (on the host, or as a
+  /// backend launch when \p BinOnBackend — the form a step-graph capture
+  /// needs so the rebinning replays every step), then submits the
+  /// accumulate and reduce phases as non-blocking launches (reduce
   /// depends on accumulate) and \returns the reduction's event — the
   /// handle the backend-parallel field solve chains its E advance on
   /// (only that launch reads J, so the first FDTD half-step may overlap
-  /// the reduction). Kernel bodies are parked in \p Keep; wait the
-  /// returned event (and only then read \p Stats or drop \p Keep) before
-  /// touching the J lattices. On synchronous backends everything
-  /// executes inline and the returned event is already complete.
-  template <typename ParticleView>
+  /// the reduction). \p After gates the first phase that reads particle
+  /// endpoints or writes the grid (a graph capture passes the wrap and
+  /// clear-current events; host-ordered callers leave it empty). Kernel
+  /// bodies are parked in \p Keep (a per-step KernelKeepAlive or a
+  /// reusable KernelCache); wait the returned event (and only then read
+  /// \p Stats or drop \p Keep) before touching the J lattices. On
+  /// synchronous backends everything executes inline and the returned
+  /// event is already complete.
+  template <typename ParticleView, typename KeepT>
   exec::ExecEvent
   submitDeposit(YeeGrid<Real> &Grid, const ParticleView &View,
                 const Vector3<Real> *OldPos, const Vector3<Real> *NewPos,
                 const ParticleTypeInfo<Real> *Types, Real Dt,
                 bool ChargeConserving, exec::ExecutionBackend &Backend,
                 const exec::ExecutionContext &Ctx, RunStats &Stats,
-                exec::KernelKeepAlive &Keep) {
+                KeepT &Keep, const std::vector<exec::ExecEvent> &After = {},
+                bool BinOnBackend = false) {
     const Index N = View.size();
     const Vector3<Real> D = Step, O = Origin;
 
@@ -198,11 +205,27 @@ public:
           scatterParticle(Sink, View[I], OldPos[I], NewPos[I], Types, D, O,
                           Dt, ChargeConserving);
       };
-      return submitOverTiles(Backend, Ctx, Stats, 1, std::move(Block), {},
+      return submitOverTiles(Backend, Ctx, Stats, 1, std::move(Block), After,
                              Keep);
     }
 
-    binParticles(OldPos, NewPos, ChargeConserving, N);
+    // Phase 1 — binning. A host-ordered caller has already waited the
+    // push stage, so the bins are built inline; a graph capture submits
+    // the binning as its own node (one item, gated on \p After) so every
+    // replay rebins the moved particles before the accumulate launches
+    // read the tile lists.
+    std::vector<exec::ExecEvent> AccDeps;
+    if (BinOnBackend) {
+      TiledCurrentAccumulator *Self = this;
+      auto BinBlock = [=](Index, Index, int, int) {
+        Self->binParticles(OldPos, NewPos, ChargeConserving, N);
+      };
+      AccDeps.push_back(submitOverTiles(Backend, Ctx, Stats, 1,
+                                        std::move(BinBlock), After, Keep));
+    } else {
+      binParticles(OldPos, NewPos, ChargeConserving, N);
+      AccDeps = After;
+    }
 
     // Phase 2 — per-tile private accumulation. Tiles own disjoint plane
     // ranges, so any backend may run them in any order concurrently.
@@ -277,7 +300,8 @@ public:
         };
         const exec::ExecEvent Accumulated = exec::submitKeptLaunch(
             Backend, Ctx, Stats, R.size(), /*GrainHint=*/1,
-            std::move(AccumulateGroup), {}, Keep, /*ShardAffinity=*/int(G));
+            std::move(AccumulateGroup), AccDeps, Keep,
+            /*ShardAffinity=*/int(G));
         Reduced.push_back(exec::submitKeptLaunch(
             Backend, Ctx, Stats, R.size(), /*GrainHint=*/1,
             std::move(ReduceGroup), {Accumulated}, Keep,
@@ -287,8 +311,8 @@ public:
     }
 
     const exec::ExecEvent Accumulated = submitOverTiles(
-        Backend, Ctx, Stats, Index(tileCount()), std::move(Accumulate), {},
-        Keep);
+        Backend, Ctx, Stats, Index(tileCount()), std::move(Accumulate),
+        AccDeps, Keep);
     return submitOverTiles(Backend, Ctx, Stats, Index(tileCount()),
                            std::move(Reduce), {Accumulated}, Keep);
   }
@@ -355,15 +379,15 @@ private:
 
   /// One non-blocking backend launch over \p Items tiles, one
   /// schedulable chunk per tile (GrainHint = 1); the body is parked in
-  /// \p Keep until the chain's final wait (the asynchronous lifetime
-  /// contract).
-  template <typename BlockFn>
+  /// \p Keep (per-step KernelKeepAlive or reusable KernelCache) until
+  /// the chain's final wait (the asynchronous lifetime contract).
+  template <typename BlockFn, typename KeepT>
   static exec::ExecEvent
   submitOverTiles(exec::ExecutionBackend &Backend,
                   const exec::ExecutionContext &Ctx, RunStats &Stats,
                   Index Items, BlockFn Block,
                   const std::vector<exec::ExecEvent> &DependsOn,
-                  exec::KernelKeepAlive &Keep) {
+                  KeepT &Keep) {
     return exec::submitKeptLaunch(Backend, Ctx, Stats, Items,
                                   /*GrainHint=*/1, std::move(Block),
                                   DependsOn, Keep);

@@ -62,8 +62,10 @@ TEST(BackendRegistryTest, ListBackendNamesJoinsWithSeparator) {
 class EchoBackend final : public ExecutionBackend {
 public:
   const char *name() const override { return "echo"; }
-  ExecEvent submit(const LaunchSpec &Spec, const StepKernel &Kernel,
-                   const ExecutionContext &, RunStats &Stats) override {
+
+protected:
+  ExecEvent submitImpl(const LaunchSpec &Spec, const StepKernel &Kernel,
+                       const ExecutionContext &, RunStats &Stats) override {
     waitForDependencies(Spec);
     Kernel(0, Spec.Items, Spec.StepBegin, Spec.StepEnd);
     Stats.HostNs += 1;

@@ -58,6 +58,7 @@ struct Config {
   int Threads = 0;
   Index Grain = 0;
   bool Chain = false; ///< event-chained submission instead of mega-kernels
+  bool Graph = false; ///< capture the first step, replay the rest
 };
 
 /// FNV-1a over the final particle states (positions, momenta, gamma), so
@@ -127,7 +128,9 @@ int runBenchmark(const Config &Cfg) {
 
   exec::StepLoopOptions<Real> Opts;
   Opts.FuseSteps = Cfg.FuseSteps;
-  if (Cfg.Chain)
+  if (Cfg.Graph)
+    Opts.Fusion = exec::FusionMode::Graph;
+  else if (Cfg.Chain)
     Opts.Fusion = exec::FusionMode::EventChain;
   auto RunOnce = [&]() -> RunStats {
     if (Cfg.Analytical)
@@ -158,9 +161,11 @@ int runBenchmark(const Config &Cfg) {
               (unsigned long long)stateHash(Particles));
 
   if (!Cfg.JsonPath.empty()) {
-    // What actually ran: --chain forces the chained shape, and
-    // FusionMode::Auto picks it on asynchronous backends too.
-    const bool Chained = Cfg.Chain || Backend->isAsynchronous();
+    // What actually ran: --graph wins, --chain forces the chained
+    // shape, and FusionMode::Auto picks chaining on asynchronous
+    // backends too.
+    const bool Chained =
+        !Cfg.Graph && (Cfg.Chain || Backend->isAsynchronous());
     bench::JsonReport Report("hichi_push");
     bench::BenchRecord R;
     R.Backend = Cfg.Runner;
@@ -174,8 +179,8 @@ int runBenchmark(const Config &Cfg) {
     // The chained shape submits single steps — record fuse as what
     // actually ran, and the submission mode as its own dimension, so
     // chained and mega-kernel runs never collide in trend comparisons.
-    R.FuseSteps = Chained ? 1 : Cfg.FuseSteps;
-    R.Submit = Chained ? "event-chain" : "mega-kernel";
+    R.FuseSteps = Chained || Cfg.Graph ? 1 : Cfg.FuseSteps;
+    R.Submit = Cfg.Graph ? "graph" : Chained ? "event-chain" : "mega-kernel";
     R.Threads = Cfg.Threads;
     R.setSeries(Series);
     Report.add(R);
@@ -227,6 +232,8 @@ int main(int Argc, char **Argv) {
   Args.addOption("json", "write a machine-readable record to this path", "");
   Args.addFlag("chain", "submit steps as an event chain (non-blocking "
                         "submit + one wait) instead of fused mega-kernels");
+  Args.addFlag("graph", "capture the first step's launch as a step graph "
+                        "and replay it for the remaining steps");
   Args.addFlag("list-runners", "list registered execution backends and exit");
 
   if (!Args.parse(Argc, Argv)) {
@@ -261,6 +268,7 @@ int main(int Argc, char **Argv) {
   Cfg.Threads = int(Args.getInt("threads").value_or(0));
   Cfg.Grain = Index(Args.getInt("grain").value_or(0));
   Cfg.Chain = Args.getFlag("chain");
+  Cfg.Graph = Args.getFlag("graph");
 
   std::printf("scenario=%s layout=%s runner=%s precision=%s pusher=%s "
               "device=%s N=%lld steps=%d fuse=%d submit=%s\n\n",
@@ -268,7 +276,8 @@ int main(int Argc, char **Argv) {
               Args.getString("layout").c_str(), Cfg.Runner.c_str(),
               Args.getString("precision").c_str(), Cfg.Pusher.c_str(),
               Cfg.Device.c_str(), (long long)Cfg.Particles, Cfg.Steps,
-              Cfg.FuseSteps, Cfg.Chain ? "event-chain" : "auto");
+              Cfg.FuseSteps,
+              Cfg.Graph ? "graph" : Cfg.Chain ? "event-chain" : "auto");
 
   if (Cfg.SinglePrecision)
     return dispatchLayout<float>(Cfg);
