@@ -152,6 +152,14 @@ inline bool envGraphMode() {
   return getEnvInt("HICHI_BENCH_GRAPH").value_or(0) != 0;
 }
 
+/// Rebalanced configurations requested via HICHI_BENCH_REBALANCE
+/// (default on; 0 disables). Lets the CI smoke set drop the rebalanced
+/// half of bench_pic_rebalance on constrained runners while the hash
+/// gates on the static half keep running.
+inline bool envRebalanceMode() {
+  return getEnvInt("HICHI_BENCH_REBALANCE").value_or(1) != 0;
+}
+
 /// Prefills the per-stage exec knobs of \p Options (a pic::PicOptions,
 /// taken as a template so the exec-layer benches need no pic include)
 /// from the environment in one place: the three stage backends from

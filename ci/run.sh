@@ -38,6 +38,12 @@ run_smoke_benches() {
   HICHI_BENCH_JSON=results/BENCH_pic_sharded.json ./build/bench_pic_sharded
   HICHI_BENCH_GRAPH=1 HICHI_BENCH_JSON=results/BENCH_pic_sharded_graph.json \
     ./build/bench_pic_sharded
+  # bench_pic_rebalance fails by itself if any configuration (serial /
+  # sharded, static / rebalanced) deviates from one state hash on the
+  # drifting-slab skew scenario; records stages "step" and "rebalance".
+  # HICHI_BENCH_REBALANCE=0 would drop the rebalanced rows.
+  HICHI_BENCH_JSON=results/BENCH_pic_rebalance.json \
+    ./build/bench_pic_rebalance
   for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline sharded; do
     ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
       --iterations 2 --json "results/BENCH_push_${RUNNER}.json" \
@@ -108,6 +114,13 @@ PIC_HASHES="$(
   done
   ./build/pic_langmuir --steps 40 --shards 3 --graph \
     | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  # An armed-but-never-fired rebalancer is a bitwise no-op: the uniform
+  # Langmuir ensemble (skew ~1) never trips threshold 1.5, so these rows
+  # must land on the same hash as every row above.
+  ./build/pic_langmuir --steps 40 --rebalance 1.5 \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  ./build/pic_langmuir --steps 40 --shards 3 --rebalance 1.5 --graph \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
 )"
 if [ "$(echo "$PIC_HASHES" | sort -u | wc -l)" != "1" ]; then
   echo "FAIL: PIC state hashes differ across backends/tiles/pipelines" >&2
@@ -150,6 +163,37 @@ for SOLVER in fdtd spectral; do
   fi
 done
 echo "PIC field-solve equivalence: OK (all state hashes identical per solver)"
+
+# The skew-driving scenarios (pic/Scenarios.h) must agree bitwise across
+# backends too — with the rebalancer FIRING. The trigger is a pure
+# function of particle positions, so every backend repartitions on the
+# same steps and rebalanced runs stay bit-comparable; hashes differ
+# *between* scenarios (and between rebalanced and plain runs of a
+# scenario with real fields), so uniqueness is checked per command row.
+for SCENARIO_ARGS in \
+    "--scenario drifting-slab --rebalance 1.3" \
+    "--scenario drifting-slab --rebalance 1.3 --graph" \
+    "--scenario two-stream --steps 60" \
+    "--scenario density-gradient --steps 80" \
+    "--scenario density-gradient --steps 80 --rebalance 1.3"; do
+  SCENARIO_HASHES="$(
+    for B in serial openmp; do
+      # shellcheck disable=SC2086
+      ./build/pic_scenarios $SCENARIO_ARGS --backend "$B" \
+        | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+    done
+    for SHARDS in 4 5; do
+      # shellcheck disable=SC2086
+      ./build/pic_scenarios $SCENARIO_ARGS --shards "$SHARDS" \
+        | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+    done
+  )"
+  if [ "$(echo "$SCENARIO_HASHES" | sort -u | wc -l)" != "1" ]; then
+    echo "FAIL: scenario hashes differ across backends: $SCENARIO_ARGS" >&2
+    exit 1
+  fi
+done
+echo "PIC scenario equivalence: OK (rebalanced runs identical per scenario)"
 
 # Docs must not point at files that do not exist: every relative link in
 # README.md and docs/ARCHITECTURE.md is resolved against the repo root.

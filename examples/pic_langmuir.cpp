@@ -69,6 +69,14 @@ int main(int Argc, char **Argv) {
                  "explicit --*-backend flags win)",
                  "0");
   Args.addOption("steps", "time steps to run (0 = two plasma periods)", "0");
+  Args.addOption("rebalance",
+                 "occupancy-skew threshold of the between-steps rebalancer "
+                 "(pic/Rebalancer.h; 0 = off). The uniform Langmuir ensemble "
+                 "never trips a threshold > 1, so enabling this here "
+                 "demonstrates the no-op bit-equivalence guarantee",
+                 "0");
+  Args.addOption("rebalance-every", "steps between rebalance skew checks",
+                 "10");
   Args.addFlag("graph", "capture the five-stage step's launch DAG on the "
                         "first step and replay it on every later one "
                         "(bit-identical; see exec/StepGraph.h)");
@@ -139,6 +147,9 @@ int main(int Argc, char **Argv) {
       Options.FieldThreads = Shards;
   }
   Options.UseStepGraph = Args.getFlag("graph");
+  Options.RebalanceThreshold = Args.getDouble("rebalance").value_or(0.0);
+  Options.RebalanceEveryNSteps =
+      int(Args.getInt("rebalance-every").value_or(10));
   const std::string SolverName = Args.getString("solver");
   if (SolverName == "spectral") {
     Options.Solver = FieldSolverKind::Spectral;
@@ -246,6 +257,13 @@ int main(int Argc, char **Argv) {
   std::printf("field solve (%s) ran on '%s' (%d tiles): %.2f ms total\n",
               SolverName.c_str(), Sim.fieldBackend().name(),
               Sim.fieldTileCount(), Sim.fieldStats().HostNs / 1e6);
+  if (Sim.rebalanceStats().Checks > 0) {
+    const RebalanceStats RS = Sim.rebalanceStats();
+    std::printf("rebalancer: %lld checks, %lld fires (threshold %.2f, last "
+                "skew %.2f, max %.2f)\n",
+                RS.Checks, RS.Fires, Options.RebalanceThreshold, RS.LastSkew,
+                RS.MaxSkew);
+  }
   if (Sim.usesStepGraph()) {
     const exec::StepGraph *Graph = Sim.stepGraph();
     std::printf("step graph: %zu nodes, %zu edges; %lld capture(s), %lld "

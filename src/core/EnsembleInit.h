@@ -20,8 +20,12 @@
 #define HICHI_CORE_ENSEMBLEINIT_H
 
 #include "core/ParticleArray.h"
+#include "fields/FieldGrid.h"
 #include "support/Random.h"
 #include "threading/ParallelFor.h"
+
+#include <cmath>
+#include <vector>
 
 namespace hichi {
 
@@ -78,6 +82,69 @@ void initializeRandomEnsemble(Array &Particles, Index Count,
     P.Type = Type;
     View[I].store(P);
   });
+}
+
+/// Appends a cold beam on the cell lattice: \p PerCell particles of
+/// species \p Type in every cell whose x-plane lies in
+/// [\p PlaneBegin, \p PlaneEnd), placed deterministically at staggered
+/// sub-cell x offsets (no RNG — scenario runs must be bit-reproducible
+/// across backends *and* across runs), drifting at velocity \p Vx plus
+/// an optional sinusoidal perturbation A sin(k x) that seeds a chosen
+/// mode. Momenta are relativistic (p = gamma m v) for mass \p Mass and
+/// light speed \p C; the mass is a parameter, not looked up, so
+/// electron–ion scenarios build both species (mass-ratio dynamics)
+/// through the same initializer.
+template <typename Real>
+void appendColdBeam(std::vector<ParticleT<Real>> &Out, GridSize Size,
+                    Vector3<Real> Origin, Vector3<Real> Step, int PerCell,
+                    short Type, Real Mass, Real Weight, Real Vx, Real C,
+                    Index PlaneBegin, Index PlaneEnd,
+                    Real PerturbAmplitude = Real(0), Real PerturbK = Real(0)) {
+  for (Index I = PlaneBegin; I < PlaneEnd; ++I)
+    for (Index J = 0; J < Size.Ny; ++J)
+      for (Index K = 0; K < Size.Nz; ++K)
+        for (int P = 0; P < PerCell; ++P) {
+          ParticleT<Real> Part;
+          Part.Position = {
+              Origin.X + (Real(I) + Real(P + 0.5) / Real(PerCell)) * Step.X,
+              Origin.Y + (Real(J) + Real(0.5)) * Step.Y,
+              Origin.Z + (Real(K) + Real(0.5)) * Step.Z};
+          const Real V =
+              Vx + PerturbAmplitude * std::sin(PerturbK * Part.Position.X);
+          const Real Gamma = Real(1) / std::sqrt(Real(1) - (V / C) * (V / C));
+          Part.Momentum = {Gamma * Mass * V, Real(0), Real(0)};
+          Part.Weight = Weight;
+          Part.Gamma = Gamma;
+          Part.Type = Type;
+          Out.push_back(Part);
+        }
+}
+
+/// Appends a linear density ramp along x: the per-cell count scales
+/// from \p MinFactor x \p PerCell at \p PlaneBegin to \p MaxFactor x
+/// \p PerCell at \p PlaneEnd (rounded per plane, deterministic), same
+/// placement/drift rules as appendColdBeam. The skew driver for the
+/// density-gradient scenario; also usable as its neutralizing
+/// background by appending a second species with identical count
+/// parameters (counts depend only on geometry, so the two species'
+/// per-cell counts — and hence the net charge — match exactly).
+template <typename Real>
+void appendDensityRampX(std::vector<ParticleT<Real>> &Out, GridSize Size,
+                        Vector3<Real> Origin, Vector3<Real> Step, int PerCell,
+                        short Type, Real Mass, Real Weight, Real Vx, Real C,
+                        Index PlaneBegin, Index PlaneEnd, Real MinFactor,
+                        Real MaxFactor) {
+  const Index Planes = PlaneEnd - PlaneBegin;
+  for (Index I = PlaneBegin; I < PlaneEnd; ++I) {
+    const Real T =
+        Planes > 1 ? Real(I - PlaneBegin) / Real(Planes - 1) : Real(0);
+    const int Count = int(std::lround(
+        double(PerCell) * double(MinFactor + (MaxFactor - MinFactor) * T)));
+    if (Count <= 0)
+      continue;
+    appendColdBeam(Out, Size, Origin, Step, Count, Type, Mass, Weight, Vx, C,
+                   I, I + 1);
+  }
 }
 
 } // namespace hichi

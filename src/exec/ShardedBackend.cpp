@@ -156,3 +156,9 @@ std::vector<ShardStat> ShardedBackend::shardStats() const {
     Out.push_back(Sh.Stats);
   return Out;
 }
+
+void ShardedBackend::resetShardStats() {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  for (Shard &Sh : Shards)
+    Sh.Stats = ShardStat{};
+}

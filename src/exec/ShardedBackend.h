@@ -144,6 +144,14 @@ public:
   /// Snapshot of every shard's lifetime counters, in shard order.
   std::vector<ShardStat> shardStats() const;
 
+  /// Zeroes every shard's counters, turning shardStats() into a
+  /// windowed measurement: a rebalancer (or bench) resets after a
+  /// repartition so the next snapshot reflects only the new split.
+  /// Safe to call while launches are in flight (counters are guarded),
+  /// though a mid-flight reset splits one launch's counts across
+  /// windows — call between steps for crisp windows.
+  void resetShardStats();
+
 protected:
   ExecEvent submitImpl(const LaunchSpec &Spec, const StepKernel &Kernel,
                        const ExecutionContext &Ctx, RunStats &Stats) override;

@@ -28,6 +28,8 @@
 
 #include "support/Config.h"
 
+#include <vector>
+
 namespace hichi {
 namespace exec {
 
@@ -64,6 +66,53 @@ inline SlabRange slabRange(Index Items, Index Count, Index Slab) {
   const Index Extra = Items % Count;
   const Index Begin = Slab * Base + (Slab < Extra ? Slab : Extra);
   return {Begin, Begin + Base + (Slab < Extra ? 1 : 0)};
+}
+
+/// Weighted counterpart of slabRange for load balancing: splits
+/// [0, Weights.size()) into contiguous blocks whose weight sums are as
+/// even as a contiguous split allows. Boundary s is the smallest item
+/// index whose weight prefix reaches s/Count of the total, then nudged
+/// so every block stays nonempty (the clamped \p Requested never
+/// exceeds the item count, so there is always room). Negative weights
+/// count as zero; an all-zero total degenerates to the even slabRange
+/// split, so callers can feed a raw occupancy histogram without
+/// special-casing empty ensembles.
+///
+/// The result is a pure function of (Weights, Requested) — no timing,
+/// no thread count — which is what lets the rebalancer re-split on the
+/// same step with the same boundaries on every backend.
+///
+/// \returns Count+1 ascending boundaries with front() == 0 and
+/// back() == Weights.size(); block s is [B[s], B[s+1]).
+inline std::vector<Index> weightedSlabBoundaries(
+    const std::vector<double> &Weights, Index Requested) {
+  const Index Items = Index(Weights.size());
+  const Index Count = clampSlabCount(Items, Requested);
+  std::vector<Index> Bounds(std::size_t(Count) + 1, 0);
+  Bounds[std::size_t(Count)] = Items < 0 ? 0 : Items;
+  double Total = 0;
+  for (double W : Weights)
+    Total += W > 0 ? W : 0;
+  if (!(Total > 0)) {
+    for (Index S = 1; S < Count; ++S)
+      Bounds[std::size_t(S)] = slabRange(Items, Count, S).Begin;
+    return Bounds;
+  }
+  double Prefix = 0;
+  Index I = 0;
+  for (Index S = 1; S < Count; ++S) {
+    const double Target = Total * double(S) / double(Count);
+    while (I < Items && Prefix < Target) {
+      Prefix += Weights[std::size_t(I)] > 0 ? Weights[std::size_t(I)] : 0;
+      ++I;
+    }
+    // Keep every block nonempty: at least one item after the previous
+    // boundary, and enough items left for the remaining blocks.
+    const Index Lo = Bounds[std::size_t(S - 1)] + 1;
+    const Index Hi = Items - (Count - S);
+    Bounds[std::size_t(S)] = I < Lo ? Lo : (I > Hi ? Hi : I);
+  }
+  return Bounds;
 }
 
 } // namespace exec

@@ -32,18 +32,29 @@ namespace pic {
 /// Exponential sponge over a frame of \p LayerCells cells on every face.
 template <typename Real> class AbsorbingLayer {
 public:
+  /// Which box faces carry the sponge. All is the original full frame;
+  /// XOnly restricts it to the two x faces — the open-boundary shape
+  /// the drift scenarios need (particles stream out through x while the
+  /// transverse y/z directions stay periodic; a full frame on a
+  /// 4-cell-thin transverse axis would swallow the whole box).
+  enum class Faces { All, XOnly };
+
   /// \p Strength is the damping exponent at the outermost cell per
   /// application; the profile ramps quadratically from zero at the inner
   /// edge (quadratic ramps minimize the impedance-mismatch reflection of
   /// masked absorbers).
-  AbsorbingLayer(GridSize Size, Index LayerCells, Real Strength = Real(0.5))
-      : Size(Size), Layer(LayerCells), Strength(Strength) {
+  AbsorbingLayer(GridSize Size, Index LayerCells, Real Strength = Real(0.5),
+                 Faces Which = Faces::All)
+      : Size(Size), Layer(LayerCells), Strength(Strength), Which(Which) {
     assert(LayerCells >= 0 && 2 * LayerCells < Size.Nx &&
-           2 * LayerCells < Size.Ny && 2 * LayerCells < Size.Nz &&
+           "absorbing layer swallows the whole box");
+    assert((Which == Faces::XOnly ||
+            (2 * LayerCells < Size.Ny && 2 * LayerCells < Size.Nz)) &&
            "absorbing layer swallows the whole box");
   }
 
   Index layerCells() const { return Layer; }
+  Faces faces() const { return Which; }
 
   /// Damping factor applied to fields at cell index \p I along an axis
   /// of extent \p N: 1 in the interior, exp(-Strength (d/L)^2 -> at the
@@ -59,6 +70,19 @@ public:
   /// Applies one damping pass to all six field components of \p Grid.
   void apply(YeeGrid<Real> &Grid) const {
     auto DampLattice = [&](ScalarLattice<Real> &F) {
+      if (Which == Faces::XOnly) {
+        // Only the x faces damp: whole y/z planes scale by one factor,
+        // and interior planes (factor 1) are skipped entirely.
+        for (Index I = 0; I < Size.Nx; ++I) {
+          const Real FX = factorAt(I, Size.Nx);
+          if (FX == Real(1))
+            continue;
+          for (Index J = 0; J < Size.Ny; ++J)
+            for (Index K = 0; K < Size.Nz; ++K)
+              F(I, J, K) *= FX;
+        }
+        return;
+      }
       for (Index I = 0; I < Size.Nx; ++I) {
         const Real FX = factorAt(I, Size.Nx);
         for (Index J = 0; J < Size.Ny; ++J) {
@@ -94,6 +118,8 @@ public:
       Real Cell = (X - Origin) / Step;
       return Cell < Real(Layer) || Cell >= Real(N - Layer);
     };
+    if (Which == Faces::XOnly)
+      return Axis(Pos.X, O.X, D.X, Size.Nx);
     return Axis(Pos.X, O.X, D.X, Size.Nx) || Axis(Pos.Y, O.Y, D.Y, Size.Ny) ||
            Axis(Pos.Z, O.Z, D.Z, Size.Nz);
   }
@@ -112,6 +138,7 @@ private:
   GridSize Size;
   Index Layer;
   Real Strength;
+  Faces Which;
 };
 
 } // namespace pic

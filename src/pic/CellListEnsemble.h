@@ -110,6 +110,19 @@ public:
     return true;
   }
 
+  /// Per-x-plane occupancy: cell order is x-major, so the plane of cell
+  /// C is C / (Ny*Nz). The cell-list view of the same measurement the
+  /// flat-array rebalancer makes (pic/ParticleSorter.h xPlaneOccupancy);
+  /// the rebalance tests cross-check the two organizations agree.
+  std::vector<double> xPlaneOccupancy() const {
+    const GridSize S = Indexer.size();
+    std::vector<double> Counts(std::size_t(S.Nx), 0.0);
+    for (std::size_t C = 0; C < Cells.size(); ++C)
+      Counts[std::size_t(Index(C) / (S.Ny * S.Nz))] +=
+          double(Cells[C].size());
+    return Counts;
+  }
+
   const CellIndexer<Real> &indexer() const { return Indexer; }
 
 private:

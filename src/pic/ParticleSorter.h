@@ -51,6 +51,18 @@ public:
     return (I * Size.Ny + J) * Size.Nz + K;
   }
 
+  /// \returns the (wrapped) x-plane index of \p Pos — the slab
+  /// coordinate every 1-D decomposition in the tree partitions along,
+  /// and the axis the occupancy-weighted rebalancer histograms over.
+  /// Same arithmetic as cellOf's x component, so a cell-sorted array is
+  /// also x-plane-sorted (cell order is x-major).
+  Index xPlaneOf(const Vector3<Real> &Pos) const {
+    Index I = Index(std::floor((Pos.X - Origin.X) / Step.X)) % Size.Nx;
+    return I < 0 ? I + Size.Nx : I;
+  }
+
+  GridSize size() const { return Size; }
+
 private:
   GridSize Size;
   Vector3<Real> Origin;
@@ -88,6 +100,20 @@ void sortByCell(Array &Particles, const CellIndexer<Real> &Indexer) {
   // Pass 3: write back.
   for (Index I = 0; I < N; ++I)
     View[I].store(Staging[std::size_t(I)]);
+}
+
+/// Per-x-plane particle occupancy of the flat ensemble: Counts[p] is
+/// how many particles sit in plane p (periodic wrap, matching cellOf).
+/// One O(N) pass — the measurement the occupancy-weighted rebalancer
+/// (pic/Rebalancer.h) triggers and re-splits from.
+template <typename Array, typename Real>
+std::vector<double> xPlaneOccupancy(const Array &Particles,
+                                    const CellIndexer<Real> &Indexer) {
+  std::vector<double> Counts(std::size_t(Indexer.size().Nx), 0.0);
+  auto View = Particles.view();
+  for (Index I = 0, N = Particles.size(); I < N; ++I)
+    Counts[std::size_t(Indexer.xPlaneOf(View[I].position()))] += 1.0;
+  return Counts;
 }
 
 /// \returns the number of adjacent particle pairs that share a cell,

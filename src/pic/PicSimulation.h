@@ -52,10 +52,12 @@
 #include "exec/ShardedBackend.h"
 #include "exec/SlabPartition.h"
 #include "exec/StepGraph.h"
+#include "pic/AbsorbingBoundary.h"
 #include "pic/CurrentDeposition.h"
 #include "pic/FdtdSolver.h"
 #include "pic/FieldInterpolator.h"
 #include "pic/ParticleSorter.h"
+#include "pic/Rebalancer.h"
 #include "pic/SpectralSolver.h"
 #include "pic/TiledCurrentAccumulator.h"
 #include "pic/YeeGrid.h"
@@ -140,6 +142,41 @@ template <typename Real> struct PicOptions {
   /// every backend, solver, layout and tile/shard count; the graph is
   /// invalidated (and recaptured) when the ensemble size changes.
   bool UseStepGraph = false;
+
+  /// Occupancy-skew threshold that arms the between-steps rebalancer
+  /// (pic/Rebalancer.h): every RebalanceEveryNSteps steps the per-x-plane
+  /// particle occupancy is measured, and when its skew (max block weight
+  /// over mean across RebalanceBlocks x-blocks) exceeds this threshold
+  /// the ensemble is cell-sorted and the deposit tiles + sharded push
+  /// blocks are re-split weighted by the measured occupancy. <= 0
+  /// disables rebalancing entirely. The trigger reads particle positions
+  /// only (never timing), so it fires on the same steps on every backend
+  /// — rebalanced runs stay bit-identical across backends. A fired
+  /// repartition re-sorts, which permutes the order-sensitive state hash
+  /// relative to a non-rebalanced run (conservation-gated, not
+  /// bit-gated); the re-split itself never changes bits.
+  double RebalanceThreshold = 0;
+
+  /// Steps between skew checks (rebalancing must be cheap relative to
+  /// the work it balances; the check is one O(N) histogram pass).
+  int RebalanceEveryNSteps = 10;
+
+  /// Evaluation blocks of the skew metric (clamped to the grid's Nx).
+  /// Deliberately independent of the backend's shard/tile counts so the
+  /// metric — and hence the firing steps — are backend-invariant.
+  int RebalanceBlocks = 8;
+
+  /// Absorbing/open boundary along x: > 0 damps E and B inside a sponge
+  /// frame this many cells deep on the two x faces after every step and
+  /// removes particles that entered it (open particle boundary; y/z stay
+  /// periodic). The boundary is host-side and runs in every step mode —
+  /// classic, capture and replay — after the captured DAG completes, so
+  /// all backends apply the identical damping arithmetic.
+  Index AbsorbingCells = 0;
+
+  /// Damping exponent at the outermost sponge cell per application
+  /// (AbsorbingLayer's quadratic-ramp profile).
+  Real AbsorbingStrength = Real(0.5);
 };
 
 /// Accumulated timing of the double-buffered precalc/push pipeline (only
@@ -197,6 +234,14 @@ public:
                           this->Options.DepositThreads));
     FieldTileCount = resolveStageTiles(this->Options.FieldTiles, *FieldExec,
                                        this->Options.FieldThreads);
+    if (this->Options.RebalanceThreshold > 0)
+      Rebal = std::make_unique<Rebalancer<Real>>(
+          Size, Origin, Step, this->Options.RebalanceThreshold,
+          Index(this->Options.RebalanceBlocks));
+    if (this->Options.AbsorbingCells > 0)
+      Absorber = std::make_unique<AbsorbingLayer<Real>>(
+          Size, this->Options.AbsorbingCells, this->Options.AbsorbingStrength,
+          AbsorbingLayer<Real>::Faces::XOnly);
     if (this->Options.TimeStep <= Real(0))
       this->Options.TimeStep = Solver.courantLimit(Grid) / Real(2);
     if (this->Options.Solver == FieldSolverKind::Spectral) {
@@ -236,8 +281,12 @@ public:
   /// tests/pic/GraphEquivalenceTest.cpp).
   void step() {
     if (Options.UseStepGraph) {
+      // The graph is keyed on the ensemble size AND the partition epoch:
+      // a fired rebalance re-splits the push blocks whose ranges the
+      // captured DAG baked in, so a repartition recaptures through the
+      // same seam a size change does.
       if (Graph && Graph->instantiated() &&
-          GraphN == Particles.view().size())
+          GraphN == Particles.view().size() && GraphEpoch == PartitionEpoch)
         replayStep();
       else
         captureStep();
@@ -349,10 +398,7 @@ private:
       FieldTiming.ModeledNs += Ns;
     }
 
-    CurrentTime += Dt;
-    ++Steps;
-    if (Options.SortEveryNSteps > 0 && Steps % Options.SortEveryNSteps == 0)
-      sortByCell(Particles, Indexer);
+    finishStep();
   }
 
   /// Graph-mode first step: runs the full five-stage step through
@@ -457,15 +503,13 @@ private:
     if (!Graph->instantiate())
       Graph.reset(); // empty capture (defensive); next step recaptures
     GraphN = N;
+    GraphEpoch = PartitionEpoch;
     ++GraphCaptures;
     const double Ns = double(Wall.elapsedNanoseconds());
     GraphTiming.HostNs += Ns;
     GraphTiming.ModeledNs += Ns;
 
-    CurrentTime += Dt;
-    ++Steps;
-    if (Options.SortEveryNSteps > 0 && Steps % Options.SortEveryNSteps == 0)
-      sortByCell(Particles, Indexer);
+    finishStep();
   }
 
   /// Graph-mode steady state: rebinds the step index and simulation time
@@ -484,10 +528,55 @@ private:
     GraphTiming.HostNs += Ns;
     GraphTiming.ModeledNs += Ns;
     ++GraphReplays;
+    finishStep();
+  }
+
+  /// The host epilogue every step mode shares (classic, capture,
+  /// replay): advances the counters, runs the periodic locality sort,
+  /// the open boundary, and the rebalance check. Everything here is
+  /// host-side and backend-independent, so each piece either preserves
+  /// bits exactly (the sponge damping: identical arithmetic everywhere)
+  /// or changes them identically on every backend (the sorts'
+  /// permutations).
+  void finishStep() {
     CurrentTime += Options.TimeStep;
     ++Steps;
     if (Options.SortEveryNSteps > 0 && Steps % Options.SortEveryNSteps == 0)
       sortByCell(Particles, Indexer);
+    if (Absorber) {
+      Absorber->apply(Grid);
+      // A shrunk ensemble invalidates the captured graph through the
+      // GraphN key on the next step().
+      AbsorbedTotal += Absorber->removeAbsorbedParticles(Particles, Grid);
+    }
+    maybeRebalance();
+  }
+
+  /// The rebalance check (every RebalanceEveryNSteps steps when armed):
+  /// measures the occupancy skew and, past the threshold, repartitions —
+  /// cell-sort for slab locality (the one bit-visible effect: a
+  /// permutation), occupancy-weighted deposit tiles, occupancy-weighted
+  /// sharded push blocks, and a partition-epoch bump so graph mode
+  /// recaptures exactly once per fire.
+  void maybeRebalance() {
+    if (!Rebal || Options.RebalanceEveryNSteps <= 0 ||
+        Steps % Options.RebalanceEveryNSteps != 0)
+      return;
+    if (!Rebal->check(Particles))
+      return;
+    sortByCell(Particles, Indexer);
+    Accumulator->retile(
+        Rebal->planeBoundaries(Index(Accumulator->tileCount())));
+    PushFractions.clear();
+    if (Backend->shardCount() > 0)
+      PushFractions = Rebal->particleFractions(Index(Backend->shardCount()));
+    ++PartitionEpoch;
+    // Start a fresh shardStats() window so post-repartition imbalance
+    // reflects the new split, not the skewed history.
+    for (exec::ExecutionBackend *E :
+         {Backend.get(), DepositExec.get(), FieldExec.get()})
+      if (auto *Sharded = dynamic_cast<exec::ShardedBackend *>(E))
+        Sharded->resetShardStats();
   }
 
 public:
@@ -639,6 +728,29 @@ public:
 
   /// Shards of the push backend (0 when it is not sharded).
   int shardCount() const { return Backend->shardCount(); }
+
+  /// Rebalancer counters (all zeros when RebalanceThreshold <= 0).
+  RebalanceStats rebalanceStats() const {
+    return Rebal ? Rebal->stats() : RebalanceStats{};
+  }
+
+  /// Fired repartitions so far (the step-graph key includes this, so in
+  /// graph mode captures == 1 + fired repartitions + size changes).
+  long long partitionEpoch() const { return PartitionEpoch; }
+
+  /// Particles removed by the open boundary so far (0 without one).
+  long long absorbedParticleCount() const { return AbsorbedTotal; }
+
+  /// The open-boundary sponge, or nullptr when AbsorbingCells == 0.
+  const AbsorbingLayer<Real> *absorbingLayer() const {
+    return Absorber.get();
+  }
+
+  /// Current plane boundaries of the deposit tiles (the rebalance tests
+  /// verify a fired repartition actually moved them).
+  std::vector<Index> depositTileBoundaries() const {
+    return Accumulator->tileBoundaries();
+  }
 
   /// Accumulated pipeline timing (all zeros unless usesAsyncPipeline()).
   const PicPipelineStats &pipelineStats() const { return PipelineTiming; }
@@ -900,9 +1012,28 @@ private:
     PushBodies.reserve(std::size_t(Blocks));
     PushEvents.reserve(std::size_t(Blocks));
 
+    // After a fired rebalance the even split gives way to the
+    // occupancy-weighted one: PushFractions (cumulative occupancy at
+    // the weighted plane boundaries) rescaled by the current N. The
+    // push is per-particle-independent, so ANY index partition is
+    // bit-identical — this re-split changes balance, never bits.
+    const bool Weighted = PushFractions.size() == std::size_t(Blocks) + 1;
+    auto BlockRange = [&](Index S) {
+      if (!Weighted)
+        return exec::slabRange(N, Blocks, S);
+      exec::SlabRange R;
+      R.Begin = Index(PushFractions[std::size_t(S)] * double(N));
+      R.End = S + 1 == Blocks
+                  ? N
+                  : Index(PushFractions[std::size_t(S) + 1] * double(N));
+      return R;
+    };
+
     Stopwatch Wall;
     for (Index S = 0; S < Blocks; ++S) {
-      const exec::SlabRange R = exec::slabRange(N, Blocks, S);
+      const exec::SlabRange R = BlockRange(S);
+      if (R.empty())
+        continue; // a weighted block may own no particles
       auto *Buf = static_cast<FieldSample<Real> *>(Sharded->shardArena(
           int(S), sizeof(FieldSample<Real>) * std::size_t(R.size())));
 
@@ -1014,6 +1145,14 @@ private:
   Index GraphN = Index(-1); ///< ensemble size the graph was captured at
   long long GraphCaptures = 0;
   long long GraphReplays = 0;
+  std::unique_ptr<Rebalancer<Real>> Rebal; ///< armed by RebalanceThreshold
+  std::unique_ptr<AbsorbingLayer<Real>> Absorber; ///< armed by AbsorbingCells
+  /// Cumulative occupancy fractions at the weighted push-block
+  /// boundaries after a fired rebalance; empty = even split.
+  std::vector<double> PushFractions;
+  long long PartitionEpoch = 0; ///< bumped by every fired repartition
+  long long GraphEpoch = -1;    ///< PartitionEpoch the graph captured at
+  long long AbsorbedTotal = 0;  ///< particles removed by the open boundary
   int FieldTileCount = 1;
   Real CurrentTime = Real(0);
   int Steps = 0;

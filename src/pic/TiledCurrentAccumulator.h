@@ -47,6 +47,7 @@
 #include "pic/YeeGrid.h"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -150,6 +151,52 @@ public:
   }
 
   int tileCount() const { return int(Tiles.size()); }
+
+  /// \returns the current tileCount()+1 plane boundaries (tile T owns
+  /// planes [B[T], B[T+1])) — what the rebalance tests inspect.
+  std::vector<Index> tileBoundaries() const {
+    std::vector<Index> Bounds;
+    Bounds.reserve(Tiles.size() + 1);
+    Bounds.push_back(Tiles.empty() ? 0 : Tiles.front().PlaneBegin);
+    for (const Tile &Slab : Tiles)
+      Bounds.push_back(Slab.PlaneEnd);
+    return Bounds;
+  }
+
+  /// Moves the tile plane boundaries to \p Boundaries (tileCount()+1
+  /// ascending planes, front 0 and back Nx — e.g. from
+  /// exec::weightedSlabBoundaries over a measured occupancy histogram).
+  /// The tile *count* is fixed at construction; only the ranges move,
+  /// and the private J slabs are resized (and re-zeroed) to the new
+  /// extents. Deposition stays bit-identical to the serial scatter for
+  /// ANY boundaries — every J node keeps exactly one owner and the
+  /// reduce order is fixed — so a retile changes performance, never
+  /// bits. Callers in step-graph mode must still recapture: not for the
+  /// deposit (the kernels read the tile table live), but because the
+  /// companion push re-split bakes its block ranges into the graph.
+  void retile(const std::vector<Index> &Boundaries) {
+    assert(Index(Boundaries.size()) == Index(Tiles.size()) + 1 &&
+           "boundary count must match the fixed tile count");
+    assert(Boundaries.front() == 0 && Boundaries.back() == Size.Nx &&
+           "boundaries must tile [0, Nx)");
+    const std::size_t PlaneElems =
+        std::size_t(Size.Ny) * std::size_t(Size.Nz);
+    const Index NumTiles = Index(Tiles.size());
+    for (Index T = 0; T < NumTiles; ++T) {
+      Tile &Slab = Tiles[std::size_t(T)];
+      Slab.PlaneBegin = Boundaries[std::size_t(T)];
+      Slab.PlaneEnd = Boundaries[std::size_t(T) + 1];
+      for (Index P = Slab.PlaneBegin; P < Slab.PlaneEnd; ++P)
+        OwnerOfPlane[std::size_t(P)] = int(T);
+      if (NumTiles > 1) {
+        const std::size_t Elems =
+            std::size_t(Slab.PlaneEnd - Slab.PlaneBegin) * PlaneElems;
+        Slab.Jx.assign(Elems, Real(0));
+        Slab.Jy.assign(Elems, Real(0));
+        Slab.Jz.assign(Elems, Real(0));
+      }
+    }
+  }
 
   /// Deposits the currents of every particle of \p View moving from
   /// \p OldPos[i] to \p NewPos[i] (both *unwrapped*) into \p Grid's J

@@ -21,6 +21,7 @@
 #include "exec/BackendRegistry.h"
 #include "pic/Diagnostics.h"
 #include "pic/PicSimulation.h"
+#include "pic/Scenarios.h"
 
 #include <gtest/gtest.h>
 
@@ -222,6 +223,47 @@ TEST(GraphEquivalenceTest, RecapturesAfterEnsembleGrowth) {
   const std::uint64_t ClassicHash = Run(false, nullptr);
   EXPECT_EQ(GraphHash, ClassicHash);
   EXPECT_EQ(Captures, 2); // one per ensemble shape
+}
+
+/// Rebalance x graph interplay: a fired repartition bumps the partition
+/// epoch, so the captured graph (whose launch ranges bake in the old
+/// split) must be invalidated — exactly one recapture per fire, every
+/// other step replays, and the replayed run stays bit-identical to the
+/// same rebalanced run resubmitting every launch.
+TEST(GraphEquivalenceTest, RecapturesAfterRebalanceFires) {
+  auto Run = [](bool UseGraph, long long *Captures, long long *Replays,
+                long long *Fires) {
+    const ScenarioSetup<double> S = makeDriftingSlabScenario<double>();
+    PicOptions<double> Options;
+    Options.LightVelocity = 1.0;
+    Options.SortEveryNSteps = 20;
+    Options.PushBackend = "sharded";
+    Options.DepositBackend = "sharded";
+    Options.FieldBackend = "sharded";
+    Options.PushThreads = 4;
+    Options.DepositThreads = 4;
+    Options.FieldThreads = 4;
+    Options.UseStepGraph = UseGraph;
+    Options.RebalanceThreshold = 1.3; // the slab trips this repeatedly
+    PicSimulation<double> Sim(S.Grid, S.Origin, S.Step,
+                              Index(S.Particles.size()), S.Types, Options);
+    seedScenario(Sim, S);
+    Sim.run(100);
+    if (Captures)
+      *Captures = Sim.graphCaptureCount();
+    if (Replays)
+      *Replays = Sim.graphReplayCount();
+    if (Fires)
+      *Fires = Sim.rebalanceStats().Fires;
+    return picStateHash(Sim.particles(), Sim.grid());
+  };
+  long long Captures = 0, Replays = 0, Fires = 0;
+  const std::uint64_t GraphHash = Run(true, &Captures, &Replays, &Fires);
+  const std::uint64_t ClassicHash = Run(false, nullptr, nullptr, nullptr);
+  EXPECT_EQ(GraphHash, ClassicHash);
+  EXPECT_GE(Fires, 1);
+  EXPECT_EQ(Captures, 1 + Fires); // the initial capture + one per fire
+  EXPECT_EQ(Replays, 100 - Captures);
 }
 
 } // namespace
