@@ -44,6 +44,11 @@ run_smoke_benches() {
   # HICHI_BENCH_REBALANCE=0 would drop the rebalanced rows.
   HICHI_BENCH_JSON=results/BENCH_pic_rebalance.json \
     ./build/bench_pic_rebalance
+  # bench_serve fails by itself if any served job's final hash deviates
+  # from a standalone serial run of the same spec; records throughput
+  # (stage "serve") and per-job latency (stage "latency") per config.
+  HICHI_BENCH_JOBS="${HICHI_BENCH_JOBS:-8}" \
+    HICHI_BENCH_JSON=results/BENCH_serve.json ./build/bench_serve
   for RUNNER in serial openmp dpcpp dpcpp-numa async-pipeline sharded; do
     ./build/hichi_push --runner "$RUNNER" --particles 20000 --steps 10 \
       --iterations 2 --json "results/BENCH_push_${RUNNER}.json" \
@@ -194,6 +199,49 @@ for SCENARIO_ARGS in \
   fi
 done
 echo "PIC scenario equivalence: OK (rebalanced runs identical per scenario)"
+
+# Serving smoke: the multi-tenant job runner must complete 100 jobs
+# across 4 tenants over one shared pool with cross-job batching, and a
+# sample of the served hashes must be bit-identical to standalone
+# serial runs of the same specs (hichi_serve exits nonzero on any
+# mismatch or unfinished job).
+./build/hichi_serve --synthetic 100 --tenants 4 --workers 2 --batch 2 \
+  --verify-sample 10 --quiet
+echo "serve smoke: OK (100 jobs, 4 tenants, sampled hashes standalone-identical)"
+
+# Crash recovery: a scheduler "killed" after three quanta (exit 3 =
+# interrupted with work left) must leave checkpoints + manifest from
+# which a fresh --resume run completes every job; --verify re-runs each
+# completed job standalone and fails on any hash deviation.
+SERVE_STATE="$(mktemp -d)"
+if ./build/hichi_serve --synthetic 12 --tenants 2 --quantum 8 \
+     --state-dir "$SERVE_STATE" --exit-after-quanta 3 --quiet; then
+  echo "FAIL: crash-injected serve run should exit nonzero" >&2
+  exit 1
+fi
+./build/hichi_serve --synthetic 12 --tenants 2 --quantum 8 \
+  --state-dir "$SERVE_STATE" --resume --verify --quiet
+rm -rf "$SERVE_STATE"
+echo "serve crash recovery: OK (resume completed all jobs bit-identically)"
+
+# Checkpoint/restore at the example level: 2N uninterrupted steps (the
+# first run, which also drops a mid-run checkpoint at step N) and
+# N + restore + N (the second run, resuming from that checkpoint) must
+# print one state hash.
+CKPT_FILE="$(mktemp -u).ckpt"
+CKPT_HASHES="$(
+  ./build/pic_langmuir --steps 48 --checkpoint-every 24 \
+    --checkpoint-file "$CKPT_FILE" \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  ./build/pic_langmuir --steps 48 --restore "$CKPT_FILE" \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+)"
+rm -f "$CKPT_FILE"
+if [ "$(echo "$CKPT_HASHES" | sort -u | wc -l)" != "1" ]; then
+  echo "FAIL: checkpoint restore diverged from the uninterrupted run" >&2
+  exit 1
+fi
+echo "checkpoint equivalence: OK (restore resumes bit-identically)"
 
 # Docs must not point at files that do not exist: every relative link in
 # README.md and docs/ARCHITECTURE.md is resolved against the repo root.

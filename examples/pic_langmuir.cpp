@@ -77,6 +77,17 @@ int main(int Argc, char **Argv) {
                  "0");
   Args.addOption("rebalance-every", "steps between rebalance skew checks",
                  "10");
+  Args.addOption("checkpoint-every",
+                 "save a full-state checkpoint (particles + fields + step "
+                 "index; core/Checkpoint.h) every N steps (0 = off)",
+                 "0");
+  Args.addOption("checkpoint-file", "checkpoint file path",
+                 "langmuir.ckpt");
+  Args.addOption("restore",
+                 "restore from this checkpoint file before stepping: the "
+                 "run continues from the saved step index and must land on "
+                 "the same final state hash as an uninterrupted run",
+                 "");
   Args.addFlag("graph", "capture the five-stage step's launch DAG on the "
                         "first step and replay it on every later one "
                         "(bit-identical; see exec/StepGraph.h)");
@@ -200,15 +211,44 @@ int main(int Argc, char **Argv) {
   const int TotalSteps = int(Args.getInt("steps").value_or(0)) > 0
                              ? int(*Args.getInt("steps"))
                              : AutoSteps;
-  std::vector<double> Energy;
-  for (int S = 0; S < TotalSteps; ++S) {
+  // --restore replaces the seeded initial state with a checkpoint and
+  // continues from its saved step index — so N steps + save + restore +
+  // N steps prints the same final hash as 2N uninterrupted steps
+  // (ci/run.sh gates on exactly that).
+  const std::string RestoreFile = Args.getString("restore");
+  const std::string CheckpointFile = Args.getString("checkpoint-file");
+  const int CheckpointEvery =
+      int(Args.getInt("checkpoint-every").value_or(0));
+  std::string CheckpointError;
+  if (!RestoreFile.empty()) {
+    if (!Sim.restoreState(RestoreFile, &CheckpointError)) {
+      std::fprintf(stderr, "error: cannot restore %s: %s\n",
+                   RestoreFile.c_str(), CheckpointError.c_str());
+      return 1;
+    }
+    std::printf("restored %s: continuing from step %d (t = %.2f)\n",
+                RestoreFile.c_str(), Sim.stepCount(), Sim.time());
+  }
+  std::vector<double> Energy(std::size_t(Sim.stepCount()), 0.0);
+  for (int S = Sim.stepCount(); S < TotalSteps; ++S) {
     Sim.step();
     Energy.push_back(Sim.fieldEnergy());
+    if (CheckpointEvery > 0 && (S + 1) % CheckpointEvery == 0 &&
+        S + 1 < TotalSteps) {
+      if (!Sim.saveState(CheckpointFile, &CheckpointError)) {
+        std::fprintf(stderr, "error: cannot checkpoint to %s: %s\n",
+                     CheckpointFile.c_str(), CheckpointError.c_str());
+        return 1;
+      }
+      std::printf("checkpointed step %d -> %s\n", S + 1,
+                  CheckpointFile.c_str());
+    }
   }
 
   std::printf("%-10s %-14s\n", "t", "field energy");
   for (int S = 9; S < TotalSteps; S += 20)
-    std::printf("%-10.2f %-14.4e\n", (S + 1) * Dt, Energy[std::size_t(S)]);
+    if (Energy[std::size_t(S)] > 0)
+      std::printf("%-10.2f %-14.4e\n", (S + 1) * Dt, Energy[std::size_t(S)]);
 
   // Peak-to-peak spacing of the energy trace = half the plasma period.
   std::vector<double> PeakTimes;

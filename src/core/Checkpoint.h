@@ -5,15 +5,28 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Binary checkpointing of particle ensembles: long laser-plasma runs
-/// (the paper's production context simulates 1e7 particles for many
-/// thousands of steps) restart from checkpoints as a matter of course.
+/// Binary checkpointing: long laser-plasma runs (the paper's production
+/// context simulates 1e7 particles for many thousands of steps) restart
+/// from checkpoints as a matter of course, and the serve layer suspends
+/// and resumes whole jobs through the same files.
 ///
-/// Format: a fixed 32-byte header {magic, version, scalar size, count}
-/// followed by packed ParticleT records (position, momentum, weight,
-/// gamma, type), independent of the in-memory layout — an SoA ensemble
-/// checkpoints to the same bytes as an AoS one and either can restore
-/// the other.
+/// Two formats share one 32-byte header {magic, version, scalar size,
+/// count}:
+///
+///   * **v1 (ensemble-only)** — packed ParticleT records (position,
+///     momentum, weight, gamma, type), independent of the in-memory
+///     layout: an SoA ensemble checkpoints to the same bytes as an AoS
+///     one and either can restore the other. saveCheckpoint /
+///     loadCheckpoint.
+///   * **v2 (full simulation state)** — the same particle records plus
+///     a state block (step index, simulation time) and the field
+///     lattices, so a restored PIC run continues bit-identically: the
+///     restart replays the same `t += dt` accumulation from the same
+///     bits. saveSimulationCheckpoint / loadSimulationCheckpoint.
+///
+/// Every loader rejects rather than crashes on damaged input (truncated
+/// file, wrong magic, wrong version, scalar-width mismatch) and, when
+/// the caller passes an Error string, says *why* in one line.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,13 +39,16 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hichi {
 
 namespace checkpoint_detail {
 
 inline constexpr std::uint32_t Magic = 0x48434850; // "HCHP"
-inline constexpr std::uint32_t Version = 1;
+inline constexpr std::uint32_t Version = 1;        // ensemble-only
+inline constexpr std::uint32_t StateVersion = 2;   // full simulation state
 
 struct Header {
   std::uint32_t Magic = checkpoint_detail::Magic;
@@ -44,6 +60,17 @@ struct Header {
 };
 static_assert(sizeof(Header) == 32, "checkpoint header must be 32 bytes");
 
+/// v2 trailer after the header, before the particle records. Time is
+/// stored as a double regardless of the run's Real so a float run's
+/// accumulated time round-trips exactly.
+struct StateHeader {
+  std::int64_t StepIndex = 0;
+  double Time = 0.0;
+  std::uint32_t FieldCount = 0;
+  std::uint32_t Reserved = 0;
+};
+static_assert(sizeof(StateHeader) == 24, "state header must be 24 bytes");
+
 /// One packed record; written scalar by scalar so the file format does
 /// not inherit struct padding.
 template <typename Real> struct PackedParticle {
@@ -51,25 +78,50 @@ template <typename Real> struct PackedParticle {
   std::int16_t Type;
 };
 
-} // namespace checkpoint_detail
+inline void setError(std::string *Error, std::string Message) {
+  if (Error)
+    *Error = std::move(Message);
+}
 
-/// Writes \p Particles to \p Path. \returns false on I/O failure.
-template <typename Array>
-bool saveCheckpoint(const Array &Particles, const std::string &Path) {
-  using Real = typename Array::Scalar;
-  using namespace checkpoint_detail;
-
-  std::FILE *File = std::fopen(Path.c_str(), "wb");
-  if (!File)
+/// Reads and validates the common header. \returns false with a
+/// one-line reason if the file is truncated, foreign, the wrong
+/// version, or the wrong scalar width.
+inline bool readHeader(std::FILE *File, const std::string &Path,
+                       std::uint32_t WantVersion, std::uint32_t WantScalar,
+                       Header &Head, std::string *Error) {
+  if (std::fread(&Head, sizeof(Head), 1, File) != 1) {
+    setError(Error, Path + ": truncated checkpoint (header incomplete)");
     return false;
+  }
+  if (Head.Magic != Magic) {
+    setError(Error, Path + ": not a hichi checkpoint (bad magic)");
+    return false;
+  }
+  if (Head.Version != WantVersion) {
+    setError(Error, Path + ": checkpoint version " +
+                        std::to_string(Head.Version) + ", expected " +
+                        std::to_string(WantVersion) +
+                        (Head.Version == StateVersion
+                             ? " (full-state file: use "
+                               "loadSimulationCheckpoint)"
+                             : ""));
+    return false;
+  }
+  if (Head.ScalarBytes != WantScalar) {
+    setError(Error, Path + ": scalar width mismatch (file has " +
+                        std::to_string(Head.ScalarBytes) +
+                        "-byte scalars, array has " +
+                        std::to_string(WantScalar) + "-byte)");
+    return false;
+  }
+  return true;
+}
 
-  Header Head;
-  Head.ScalarBytes = sizeof(Real);
-  Head.Count = Particles.size();
-  bool Ok = std::fwrite(&Head, sizeof(Head), 1, File) == 1;
-
+template <typename Array>
+bool writeParticles(std::FILE *File, const Array &Particles) {
+  using Real = typename Array::Scalar;
   auto View = Particles.view();
-  for (Index I = 0; Ok && I < Particles.size(); ++I) {
+  for (Index I = 0; I < Particles.size(); ++I) {
     const ParticleT<Real> P = View[I].load();
     PackedParticle<Real> Packed;
     Packed.Values[0] = P.Position.X;
@@ -81,47 +133,221 @@ bool saveCheckpoint(const Array &Particles, const std::string &Path) {
     Packed.Values[6] = P.Weight;
     Packed.Values[7] = P.Gamma;
     Packed.Type = P.Type;
-    Ok = std::fwrite(Packed.Values, sizeof(Real), 8, File) == 8 &&
-         std::fwrite(&Packed.Type, sizeof(std::int16_t), 1, File) == 1;
+    if (std::fwrite(Packed.Values, sizeof(Real), 8, File) != 8 ||
+        std::fwrite(&Packed.Type, sizeof(std::int16_t), 1, File) != 1)
+      return false;
   }
+  return true;
+}
+
+/// Restores \p Count records into the cleared \p Particles; preserves
+/// gamma bits exactly (pushBack stores the record verbatim, it does not
+/// recompute gamma).
+template <typename Array>
+bool readParticles(std::FILE *File, Array &Particles, std::int64_t Count,
+                   const std::string &Path, std::string *Error) {
+  using Real = typename Array::Scalar;
+  Particles.clear();
+  for (std::int64_t I = 0; I < Count; ++I) {
+    PackedParticle<Real> Packed;
+    if (std::fread(Packed.Values, sizeof(Real), 8, File) != 8 ||
+        std::fread(&Packed.Type, sizeof(std::int16_t), 1, File) != 1) {
+      setError(Error, Path + ": truncated checkpoint (" + std::to_string(I) +
+                          " of " + std::to_string(Count) +
+                          " particle records present)");
+      return false;
+    }
+    ParticleT<Real> P;
+    P.Position = {Packed.Values[0], Packed.Values[1], Packed.Values[2]};
+    P.Momentum = {Packed.Values[3], Packed.Values[4], Packed.Values[5]};
+    P.Weight = Packed.Values[6];
+    P.Gamma = Packed.Values[7];
+    P.Type = short(Packed.Type);
+    Particles.pushBack(P);
+  }
+  return true;
+}
+
+} // namespace checkpoint_detail
+
+/// Writes \p Particles to \p Path (v1, ensemble-only). \returns false
+/// on I/O failure, with a reason in \p Error when provided.
+template <typename Array>
+bool saveCheckpoint(const Array &Particles, const std::string &Path,
+                    std::string *Error = nullptr) {
+  using Real = typename Array::Scalar;
+  using namespace checkpoint_detail;
+
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    setError(Error, Path + ": cannot open for writing");
+    return false;
+  }
+
+  Header Head;
+  Head.ScalarBytes = sizeof(Real);
+  Head.Count = Particles.size();
+  bool Ok = std::fwrite(&Head, sizeof(Head), 1, File) == 1 &&
+            writeParticles(File, Particles);
   std::fclose(File);
+  if (!Ok)
+    setError(Error, Path + ": write failed (disk full?)");
   return Ok;
 }
 
-/// Loads a checkpoint into \p Particles (cleared first; capacity must
-/// suffice, and the file's scalar width must match Array::Scalar).
+/// Loads a v1 checkpoint into \p Particles (cleared first; capacity
+/// must suffice, and the file's scalar width must match Array::Scalar).
 /// \returns false on I/O failure, wrong magic/version/width, or
-/// insufficient capacity.
+/// insufficient capacity, with a reason in \p Error when provided.
 template <typename Array>
-bool loadCheckpoint(Array &Particles, const std::string &Path) {
+bool loadCheckpoint(Array &Particles, const std::string &Path,
+                    std::string *Error = nullptr) {
   using Real = typename Array::Scalar;
   using namespace checkpoint_detail;
 
   std::FILE *File = std::fopen(Path.c_str(), "rb");
-  if (!File)
+  if (!File) {
+    setError(Error, Path + ": cannot open for reading");
     return false;
+  }
 
   Header Head;
-  bool Ok = std::fread(&Head, sizeof(Head), 1, File) == 1 &&
-            Head.Magic == Magic && Head.Version == Version &&
-            Head.ScalarBytes == sizeof(Real) &&
-            Head.Count <= Particles.capacity();
-  if (Ok) {
-    Particles.clear();
-    for (Index I = 0; Ok && I < Head.Count; ++I) {
-      PackedParticle<Real> Packed;
-      Ok = std::fread(Packed.Values, sizeof(Real), 8, File) == 8 &&
-           std::fread(&Packed.Type, sizeof(std::int16_t), 1, File) == 1;
-      if (!Ok)
-        break;
-      ParticleT<Real> P;
-      P.Position = {Packed.Values[0], Packed.Values[1], Packed.Values[2]};
-      P.Momentum = {Packed.Values[3], Packed.Values[4], Packed.Values[5]};
-      P.Weight = Packed.Values[6];
-      P.Gamma = Packed.Values[7];
-      P.Type = short(Packed.Type);
-      Particles.pushBack(P);
+  bool Ok = readHeader(File, Path, Version, sizeof(Real), Head, Error);
+  if (Ok && Head.Count > Particles.capacity()) {
+    setError(Error, Path + ": " + std::to_string(Head.Count) +
+                        " particles exceed array capacity " +
+                        std::to_string(Particles.capacity()));
+    Ok = false;
+  }
+  if (Ok)
+    Ok = readParticles(File, Particles, Head.Count, Path, Error);
+  std::fclose(File);
+  return Ok;
+}
+
+/// One field lattice for a full-state checkpoint: contiguous scalar
+/// data and its element count. The save/load field lists must match in
+/// order and size (PicSimulation passes Ex..Bz, Jx..Jz).
+template <typename Real> struct CheckpointFieldRef {
+  const Real *Data = nullptr;
+  Index Count = 0;
+};
+template <typename Real> struct CheckpointFieldMut {
+  Real *Data = nullptr;
+  Index Count = 0;
+};
+
+/// Writes a v2 full-state checkpoint: particles plus step index,
+/// simulation time, and the given field lattices. \returns false on
+/// I/O failure, with a reason in \p Error when provided.
+template <typename Array>
+bool saveSimulationCheckpoint(
+    const Array &Particles, std::int64_t StepIndex, double Time,
+    const std::vector<CheckpointFieldRef<typename Array::Scalar>> &Fields,
+    const std::string &Path, std::string *Error = nullptr) {
+  using Real = typename Array::Scalar;
+  using namespace checkpoint_detail;
+
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    setError(Error, Path + ": cannot open for writing");
+    return false;
+  }
+
+  Header Head;
+  Head.Version = StateVersion;
+  Head.ScalarBytes = sizeof(Real);
+  Head.Count = Particles.size();
+  StateHeader State;
+  State.StepIndex = StepIndex;
+  State.Time = Time;
+  State.FieldCount = std::uint32_t(Fields.size());
+  bool Ok = std::fwrite(&Head, sizeof(Head), 1, File) == 1 &&
+            std::fwrite(&State, sizeof(State), 1, File) == 1 &&
+            writeParticles(File, Particles);
+  for (const CheckpointFieldRef<Real> &F : Fields) {
+    if (!Ok)
+      break;
+    const std::int64_t Count = F.Count;
+    Ok = std::fwrite(&Count, sizeof(Count), 1, File) == 1 &&
+         (Count == 0 || std::fwrite(F.Data, sizeof(Real), std::size_t(Count),
+                                    File) == std::size_t(Count));
+  }
+  std::fclose(File);
+  if (!Ok)
+    setError(Error, Path + ": write failed (disk full?)");
+  return Ok;
+}
+
+/// Loads a v2 full-state checkpoint: restores the particles (cleared
+/// first, capacity must suffice), the field lattices (counts must match
+/// the file's), and returns the step index and simulation time. The
+/// field list must name the same lattices in the same order as the
+/// save. \returns false with a reason in \p Error on any mismatch or
+/// damage instead of crashing.
+template <typename Array>
+bool loadSimulationCheckpoint(
+    Array &Particles, std::int64_t &StepIndex, double &Time,
+    const std::vector<CheckpointFieldMut<typename Array::Scalar>> &Fields,
+    const std::string &Path, std::string *Error = nullptr) {
+  using Real = typename Array::Scalar;
+  using namespace checkpoint_detail;
+
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    setError(Error, Path + ": cannot open for reading");
+    return false;
+  }
+
+  Header Head;
+  bool Ok = readHeader(File, Path, StateVersion, sizeof(Real), Head, Error);
+  StateHeader State;
+  if (Ok && std::fread(&State, sizeof(State), 1, File) != 1) {
+    setError(Error, Path + ": truncated checkpoint (state header missing)");
+    Ok = false;
+  }
+  if (Ok && State.FieldCount != Fields.size()) {
+    setError(Error, Path + ": field count mismatch (file has " +
+                        std::to_string(State.FieldCount) + ", caller expects " +
+                        std::to_string(Fields.size()) + ")");
+    Ok = false;
+  }
+  if (Ok && Head.Count > Particles.capacity()) {
+    setError(Error, Path + ": " + std::to_string(Head.Count) +
+                        " particles exceed array capacity " +
+                        std::to_string(Particles.capacity()));
+    Ok = false;
+  }
+  if (Ok)
+    Ok = readParticles(File, Particles, Head.Count, Path, Error);
+  for (std::size_t FI = 0; Ok && FI < Fields.size(); ++FI) {
+    std::int64_t Count = 0;
+    if (std::fread(&Count, sizeof(Count), 1, File) != 1) {
+      setError(Error, Path + ": truncated checkpoint (field " +
+                          std::to_string(FI) + " header missing)");
+      Ok = false;
+      break;
     }
+    if (Count != Fields[FI].Count) {
+      setError(Error, Path + ": field " + std::to_string(FI) +
+                          " size mismatch (file has " + std::to_string(Count) +
+                          " scalars, lattice has " +
+                          std::to_string(Fields[FI].Count) + ")");
+      Ok = false;
+      break;
+    }
+    if (Count > 0 && std::fread(Fields[FI].Data, sizeof(Real),
+                                std::size_t(Count),
+                                File) != std::size_t(Count)) {
+      setError(Error, Path + ": truncated checkpoint (field " +
+                          std::to_string(FI) + " data incomplete)");
+      Ok = false;
+      break;
+    }
+  }
+  if (Ok) {
+    StepIndex = State.StepIndex;
+    Time = State.Time;
   }
   std::fclose(File);
   return Ok;

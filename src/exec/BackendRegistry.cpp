@@ -53,8 +53,12 @@ BackendRegistry &BackendRegistry::instance() {
 
 bool BackendRegistry::registerBackend(std::string Name, std::string Description,
                                       Factory MakeBackend) {
-  if (contains(Name) || !MakeBackend)
+  if (!MakeBackend)
     return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return false;
   Entries.push_back({std::move(Name), std::move(Description),
                      std::move(MakeBackend)});
   return true;
@@ -63,13 +67,23 @@ bool BackendRegistry::registerBackend(std::string Name, std::string Description,
 std::unique_ptr<ExecutionBackend>
 BackendRegistry::create(const std::string &Name,
                         const BackendConfig &Config) const {
-  for (const Entry &E : Entries)
-    if (E.Name == Name)
-      return E.Make(Config);
-  return nullptr;
+  // Copy the factory out under the lock, run it outside: a factory may
+  // consult the registry (or block) without holding other threads'
+  // lookups hostage.
+  Factory Make;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const Entry &E : Entries)
+      if (E.Name == Name) {
+        Make = E.Make;
+        break;
+      }
+  }
+  return Make ? Make(Config) : nullptr;
 }
 
 bool BackendRegistry::contains(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   for (const Entry &E : Entries)
     if (E.Name == Name)
       return true;
@@ -77,6 +91,7 @@ bool BackendRegistry::contains(const std::string &Name) const {
 }
 
 std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   std::vector<std::string> Out;
   Out.reserve(Entries.size());
   for (const Entry &E : Entries)
@@ -85,6 +100,7 @@ std::vector<std::string> BackendRegistry::names() const {
 }
 
 std::string BackendRegistry::description(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   for (const Entry &E : Entries)
     if (E.Name == Name)
       return E.Description;

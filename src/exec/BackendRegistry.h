@@ -21,6 +21,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,12 @@ namespace hichi {
 namespace exec {
 
 /// Process-wide registry mapping backend names to factories.
+///
+/// Thread-safe: lookups, enumeration and registration may race freely
+/// (the serve layer's scheduler workers create per-job backends
+/// concurrently while tools may still be registering custom entries).
+/// Factories run *outside* the registry lock, so a factory may itself
+/// consult the registry.
 class BackendRegistry {
 public:
   using Factory =
@@ -62,6 +69,11 @@ private:
     std::string Description;
     Factory Make;
   };
+
+  /// Guards Entries against concurrent registration/lookup from
+  /// scheduler threads. Held only while touching the vector — never
+  /// while running a factory.
+  mutable std::mutex Mutex;
   std::vector<Entry> Entries;
 };
 

@@ -52,29 +52,40 @@ ExecEvent ShardedBackend::submitImpl(const LaunchSpec &Spec,
                                      const StepKernel &Kernel,
                                      const ExecutionContext &,
                                      RunStats &Stats) {
-  const int K = shardCount();
+  return submitSlice(Spec, Kernel, Stats, 0, shardCount());
+}
+
+ExecEvent ShardedBackend::submitSlice(const LaunchSpec &Spec,
+                                      const StepKernel &Kernel,
+                                      RunStats &Stats, int LaneBegin,
+                                      int LaneCount) {
+  const int K = LaneCount;
   const bool Empty = Spec.Items <= 0 || Spec.StepEnd <= Spec.StepBegin;
 
-  // Whole-launch routing: explicit shard affinity, single-shard
-  // instances, and empty (ordering-only) launches — the latter still
-  // ride a lane so their event completes after their dependencies.
+  // Whole-launch routing: explicit shard affinity, single-lane slices,
+  // and empty (ordering-only) launches — the latter still ride a lane
+  // so their event completes after their dependencies, and always the
+  // slice's own first lane (never a foreign tenant's).
   if (Spec.ShardAffinity >= 0 || K == 1 || Empty) {
-    const int S = Spec.ShardAffinity >= 0 ? Spec.ShardAffinity % K : 0;
+    const int S =
+        LaneBegin + (Spec.ShardAffinity >= 0 ? Spec.ShardAffinity % K : 0);
     ExecEvent Done = ExecEvent::pending();
     pushBlock(S, Spec, Kernel, 0, Empty ? 0 : Spec.Items, Stats, Done,
               nullptr);
     return Done;
   }
 
-  // Partitioned launch: one contiguous block per shard, the shared slab
-  // split — so for a fixed item count shard s owns the same slice every
-  // launch (persistent residency). The last retiring block signals.
+  // Partitioned launch: one contiguous block per slice lane, the shared
+  // slab split — so for a fixed item count lane s owns the same slice
+  // every launch (persistent residency). The last retiring block
+  // signals.
   const Index Blocks = clampSlabCount(Spec.Items, Index(K));
   ExecEvent Done = ExecEvent::pending();
   auto Remaining = std::make_shared<std::atomic<int>>(int(Blocks));
   for (Index B = 0; B < Blocks; ++B) {
     const SlabRange R = slabRange(Spec.Items, Blocks, B);
-    pushBlock(int(B), Spec, Kernel, R.Begin, R.End, Stats, Done, Remaining);
+    pushBlock(LaneBegin + int(B), Spec, Kernel, R.Begin, R.End, Stats, Done,
+              Remaining);
   }
   return Done;
 }
@@ -161,4 +172,12 @@ void ShardedBackend::resetShardStats() {
   std::lock_guard<std::mutex> Lock(StatsMutex);
   for (Shard &Sh : Shards)
     Sh.Stats = ShardStat{};
+}
+
+void ShardedBackend::resetShardStats(int Begin, int End) {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  Begin = std::max(Begin, 0);
+  End = std::min(End, int(Shards.size()));
+  for (int S = Begin; S < End; ++S)
+    Shards[std::size_t(S)].Stats = ShardStat{};
 }

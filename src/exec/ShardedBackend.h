@@ -109,8 +109,30 @@ inline double shardOccupancy(const std::vector<ShardStat> &Stats,
   return Stats[S].BusyNs / Max;
 }
 
+/// The shard-resource surface drivers program against when they route
+/// per-shard work: arenas, occupancy counters, counter resets. The
+/// concrete ShardedBackend implements it over its own lanes; the serve
+/// layer's pool-client backend (serve/BackendPool.h) implements it over
+/// a *leased slice* of a shared pool's lanes — so PicSimulation's
+/// sharded stage-1 path, rebalancer stat windows and shard diagnostics
+/// work unchanged whether the backend owns its shards or borrows them.
+class ShardResources {
+public:
+  virtual ~ShardResources() = default;
+
+  /// Shard \p Shard's arena, grown to at least \p Bytes (see
+  /// ShardedBackend::shardArena for the lifetime/placement contract).
+  virtual void *shardArena(int Shard, std::size_t Bytes) = 0;
+
+  /// Snapshot of the shards' lifetime counters, in shard order.
+  virtual std::vector<ShardStat> shardStats() const = 0;
+
+  /// Zeroes the shards' counters (a windowed-measurement reset).
+  virtual void resetShardStats() = 0;
+};
+
 /// Persistent-shard execution backend ("sharded" in the registry).
-class ShardedBackend final : public ExecutionBackend {
+class ShardedBackend final : public ExecutionBackend, public ShardResources {
 public:
   /// \p Config.Threads is the shard count (0 = the default of 4; capped
   /// at 64). Lane threads are created lazily on first use, so idle
@@ -138,11 +160,13 @@ public:
   /// by the owning worker *before* any later-submitted task on that
   /// shard runs (FIFO order); a replaced buffer stays alive until the
   /// next drain(), so launches still in flight keep a valid pointer.
-  /// Call from the submitting host thread only.
-  void *shardArena(int Shard, std::size_t Bytes);
+  /// Call from one host thread per shard at a time (distinct shards may
+  /// be driven by distinct threads — the serve layer leases disjoint
+  /// lane sets to concurrent scheduler workers).
+  void *shardArena(int Shard, std::size_t Bytes) override;
 
   /// Snapshot of every shard's lifetime counters, in shard order.
-  std::vector<ShardStat> shardStats() const;
+  std::vector<ShardStat> shardStats() const override;
 
   /// Zeroes every shard's counters, turning shardStats() into a
   /// windowed measurement: a rebalancer (or bench) resets after a
@@ -150,7 +174,26 @@ public:
   /// Safe to call while launches are in flight (counters are guarded),
   /// though a mid-flight reset splits one launch's counts across
   /// windows — call between steps for crisp windows.
-  void resetShardStats();
+  void resetShardStats() override;
+
+  /// Zeroes the counters of shards [\p Begin, \p End) only — the
+  /// slice-local reset a pool-lane lease needs (resetting a whole shared
+  /// pool would clobber other tenants' windows).
+  void resetShardStats(int Begin, int End);
+
+  /// Submits \p Spec confined to the lane slice [\p LaneBegin,
+  /// \p LaneBegin + \p LaneCount): affinities resolve modulo the slice
+  /// (LaneBegin + A % LaneCount), no-affinity launches partition across
+  /// the slice's lanes only, and empty launches ride the slice's first
+  /// lane — so a launch routed through a slice can never land on a lane
+  /// outside it. This is the serve layer's multi-tenant seam: each
+  /// pool-client backend (serve/BackendPool.h) forwards its whole
+  /// submission stream through its leased slice, keeping concurrent
+  /// jobs' kernels, ordering chains and latency isolated per lane set
+  /// while sharing the pool's persistent workers and arenas.
+  /// submitImpl() is exactly the full-width slice [0, shardCount()).
+  ExecEvent submitSlice(const LaunchSpec &Spec, const StepKernel &Kernel,
+                        RunStats &Stats, int LaneBegin, int LaneCount);
 
 protected:
   ExecEvent submitImpl(const LaunchSpec &Spec, const StepKernel &Kernel,

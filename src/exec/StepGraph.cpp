@@ -52,6 +52,11 @@ bool StepGraph::instantiate() {
 }
 
 void StepGraph::replay(const ExecutionContext &Ctx) {
+  replayNoWait(Ctx);
+  waitReplay();
+}
+
+void StepGraph::replayNoWait(const ExecutionContext &Ctx) {
   assert(Instantiated && "replay of an un-instantiated graph");
   const int Delta = Params->StepIndex - BaseStep;
   ReplayEvents.clear();
@@ -78,6 +83,9 @@ void StepGraph::replay(const ExecutionContext &Ctx) {
     const double InlineNs = TS.InlineKernelNs - InlineBefore;
     N.Stats->SubmitNs += WallNs > InlineNs ? WallNs - InlineNs : 0.0;
   }
+}
+
+void StepGraph::waitReplay() {
   // Waiting in submission (topological) order retires every node and
   // publishes its stats; later waits are no-ops once the terminals have
   // completed.

@@ -47,6 +47,7 @@
 #ifndef HICHI_PIC_PICSIMULATION_H
 #define HICHI_PIC_PICSIMULATION_H
 
+#include "core/Checkpoint.h"
 #include "core/Core.h"
 #include "exec/BackendRegistry.h"
 #include "exec/ShardedBackend.h"
@@ -293,6 +294,46 @@ public:
       return;
     }
     classicStep();
+  }
+
+  /// True when the next step can run as the split submit/finish pair
+  /// below: graph mode is on and the captured DAG is valid for the
+  /// current ensemble size and partition epoch. False on the capture
+  /// step and after any invalidation — the driver falls back to step()
+  /// for those (which captures/recaptures), then splits again.
+  bool canSubmitStepAsync() const {
+    return Options.UseStepGraph && Graph && Graph->instantiated() &&
+           GraphN == Particles.size() && GraphEpoch == PartitionEpoch;
+  }
+
+  /// The issue half of a replayed step: rebinds the step index and
+  /// simulation time and issues the captured DAG without waiting — on
+  /// asynchronous backends the whole step is in flight when this
+  /// returns. The serve layer's batcher submits several jobs'
+  /// simulations back to back (each on its own disjoint pool lanes)
+  /// before finishing any, so their steps overlap as one fused launch
+  /// round. Must be paired with finishStepAsync() before any other
+  /// member call. Only legal when canSubmitStepAsync().
+  void submitStepAsync() {
+    StepParams.StepIndex = Steps;
+    StepParams.Scalars[0] = double(CurrentTime);
+    exec::ExecutionContext Ctx;
+    Ctx.Queue = Queue.get();
+    AsyncStepWatch.reset();
+    Graph->replayNoWait(Ctx);
+  }
+
+  /// The wait half: blocks until the issued step completes, then runs
+  /// the shared host epilogue (counters, periodic sort, open boundary,
+  /// rebalance check). submitStepAsync() + finishStepAsync() is
+  /// bit-identical to step() on the replay path.
+  void finishStepAsync() {
+    Graph->waitReplay();
+    const double Ns = double(AsyncStepWatch.elapsedNanoseconds());
+    GraphTiming.HostNs += Ns;
+    GraphTiming.ModeledNs += Ns;
+    ++GraphReplays;
+    finishStep();
   }
 
 private:
@@ -575,7 +616,7 @@ private:
     // reflects the new split, not the skewed history.
     for (exec::ExecutionBackend *E :
          {Backend.get(), DepositExec.get(), FieldExec.get()})
-      if (auto *Sharded = dynamic_cast<exec::ShardedBackend *>(E))
+      if (auto *Sharded = dynamic_cast<exec::ShardResources *>(E))
         Sharded->resetShardStats();
   }
 
@@ -584,6 +625,46 @@ public:
   void run(int N) {
     for (int I = 0; I < N; ++I)
       step();
+  }
+
+  /// Writes the full simulation state (particles with exact gamma bits,
+  /// all nine field lattices, step index and simulation time) as a v2
+  /// checkpoint, so a restored run continues bit-identically to an
+  /// uninterrupted one. \returns false with a reason in \p Error on I/O
+  /// failure.
+  bool saveState(const std::string &Path, std::string *Error = nullptr) const {
+    return saveSimulationCheckpoint(Particles, std::int64_t(Steps),
+                                    double(CurrentTime), fieldRefs(), Path,
+                                    Error);
+  }
+
+  /// Restores a saveState() checkpoint: particles, fields, step index
+  /// and simulation time. The grid shape and scalar width must match
+  /// the run that saved it. Any captured step graph is discarded (the
+  /// next step recaptures); the sort/rebalance schedules continue from
+  /// the restored step index, so the resumed run fires them on the same
+  /// steps the uninterrupted run would. \returns false with a reason in
+  /// \p Error, leaving no partially-restored state visible to step().
+  bool restoreState(const std::string &Path, std::string *Error = nullptr) {
+    std::int64_t StepIndex = 0;
+    double Time = 0;
+    std::vector<CheckpointFieldMut<Real>> Fields;
+    Fields.reserve(9);
+    for (ScalarLattice<Real> *L :
+         {&Grid.Ex, &Grid.Ey, &Grid.Ez, &Grid.Bx, &Grid.By, &Grid.Bz,
+          &Grid.Jx, &Grid.Jy, &Grid.Jz})
+      Fields.push_back({L->raw().data(), Index(L->raw().size())});
+    if (!loadSimulationCheckpoint(Particles, StepIndex, Time, Fields, Path,
+                                  Error))
+      return false;
+    Steps = int(StepIndex);
+    CurrentTime = Real(Time);
+    // The captured DAG baked in the pre-restore item counts and block
+    // ranges; drop it so the next step() recaptures against the
+    // restored ensemble.
+    Graph.reset();
+    GraphN = Index(-1);
+    return true;
   }
 
   /// Deposits the instantaneous charge density into \p Rho (diagnostics /
@@ -711,7 +792,7 @@ public:
     std::vector<exec::ShardStat> Total;
     for (const exec::ExecutionBackend *B :
          {Backend.get(), DepositExec.get(), FieldExec.get()}) {
-      const auto *Sharded = dynamic_cast<const exec::ShardedBackend *>(B);
+      const auto *Sharded = dynamic_cast<const exec::ShardResources *>(B);
       if (!Sharded)
         continue;
       const std::vector<exec::ShardStat> Stage = Sharded->shardStats();
@@ -968,12 +1049,14 @@ private:
     PipelineTiming.PushNs = PushKernelTiming.HostNs;
     return PushEvents;
   }
-  /// The push backend as a ShardedBackend, or nullptr. (shardCount() is
-  /// the cheap capability query; the concrete type is needed for the
-  /// per-shard arenas.)
-  exec::ShardedBackend *PushSharded() const {
+  /// The push backend's shard-resource surface, or nullptr when the
+  /// backend is not sharded. (shardCount() is the cheap capability
+  /// query; the interface is needed for the per-shard arenas — the
+  /// concrete type may be a ShardedBackend or the serve layer's
+  /// pool-client lease over one.)
+  exec::ShardResources *PushSharded() const {
     return Backend->shardCount() > 0
-               ? dynamic_cast<exec::ShardedBackend *>(Backend.get())
+               ? dynamic_cast<exec::ShardResources *>(Backend.get())
                : nullptr;
   }
 
@@ -998,9 +1081,9 @@ private:
                     Vector3<Real> *OldPos,
                     const ParticleTypeInfo<Real> *TypesPtr, Real Dt, Real C,
                     Index N, const exec::ExecutionContext &Ctx) {
-    exec::ShardedBackend *Sharded = PushSharded();
+    exec::ShardResources *Sharded = PushSharded();
     const Index Blocks =
-        exec::clampSlabCount(N, Index(Sharded->shardCount()));
+        exec::clampSlabCount(N, Index(Backend->shardCount()));
 
     // Kernel bodies live in member vectors (cleared, not reallocated —
     // stable addresses for the captured graph, nothing allocated in
@@ -1090,6 +1173,18 @@ private:
     return (N + Requested - 1) / Requested;
   }
 
+  /// The nine field lattices in checkpoint order (Ex..Bz, Jx..Jz) —
+  /// saveState and restoreState must agree on this order.
+  std::vector<CheckpointFieldRef<Real>> fieldRefs() const {
+    std::vector<CheckpointFieldRef<Real>> Fields;
+    Fields.reserve(9);
+    for (const ScalarLattice<Real> *L :
+         {&Grid.Ex, &Grid.Ey, &Grid.Ez, &Grid.Bx, &Grid.By, &Grid.Bz,
+          &Grid.Jx, &Grid.Jy, &Grid.Jz})
+      Fields.push_back({L->raw().data(), Index(L->raw().size())});
+    return Fields;
+  }
+
   /// The tile-count heuristic shared by the deposit and field stages:
   /// the explicit option, or 1 for the serial backend (the classic
   /// whole-grid pass, zero tiling overhead), two tiles per shard for
@@ -1136,6 +1231,7 @@ private:
   RunStats GraphTiming;         ///< graph-mode step wall (capture+replay)
   PicPipelineStats PipelineTiming;
   exec::ParamBlock StepParams; ///< per-step rebinding surface
+  Stopwatch AsyncStepWatch;    ///< submitStepAsync -> finishStepAsync wall
   exec::KernelCache StageCache; ///< stage-level bodies (push/wrap/clear)
   exec::KernelCache ChainCache; ///< deposit + field chain bodies
   std::vector<PipelinePrecalcBody> PrecalcBodies; ///< stage-1 bodies

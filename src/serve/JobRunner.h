@@ -1,0 +1,115 @@
+//===-- serve/JobRunner.h - Job spec -> PIC simulation ----------*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Materializes a JobSpec into a running PicSimulation: the
+/// parameterized cold Langmuir setup (the same initialization
+/// examples/pic_langmuir.cpp performs, with grid/density/amplitude from
+/// the spec), on any registered backend triple. Two entry points:
+///
+///   * makeSimulation(Spec, Backend, Threads) — the scheduler calls
+///     this under a BackendPool::BindGuard with Backend = "pool", so
+///     all three PIC stages run on the job's leased lane slice.
+///   * runStandalone(Spec) — the whole job on the serial backend in
+///     one call, returning the final picStateHash: the bit-identity
+///     reference every served job is compared against (the strongest
+///     form of the serve layer's correctness claim — not "pool equals
+///     pool", but "pool equals the bitwise-reference serial loop").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_SERVE_JOBRUNNER_H
+#define HICHI_SERVE_JOBRUNNER_H
+
+#include "pic/Diagnostics.h"
+#include "pic/PicSimulation.h"
+#include "serve/JobSpec.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+namespace hichi {
+namespace serve {
+
+using Simulation = pic::PicSimulation<double>;
+
+/// Builds the job's simulation and seeds the scenario's particles.
+/// Simulations are heap-held and never moved: a captured step graph
+/// bakes in member addresses. \p Backend names the exec backend of all
+/// three PIC stages ("pool" requires an active BindGuard on this
+/// thread); \p Threads is its per-stage thread/lane count (0 = the
+/// backend default — for "pool", the lease's width wins regardless).
+inline std::unique_ptr<Simulation> makeSimulation(const JobSpec &Spec,
+                                                  const std::string &Backend,
+                                                  int Threads = 0) {
+  const GridSize N{Index(Spec.Nx), Index(Spec.Ny), Index(Spec.Nz)};
+  const Vector3<double> Step(0.5, 0.5, 0.5);
+  const double BoxLength = double(N.Nx) * Step.X;
+  const double Volume = BoxLength * (double(N.Ny) * Step.Y) *
+                        (double(N.Nz) * Step.Z);
+  const Index NumParticles = N.count() * Spec.PerCell;
+  const double Weight =
+      Volume / (4.0 * constants::Pi * double(NumParticles));
+
+  pic::PicOptions<double> Options;
+  Options.LightVelocity = 1.0;
+  Options.SortEveryNSteps = Spec.SortEvery;
+  Options.PushBackend = Backend;
+  Options.PushThreads = Threads;
+  Options.DepositBackend = Backend;
+  Options.DepositThreads = Threads;
+  Options.FieldBackend = Backend;
+  Options.FieldThreads = Threads;
+  Options.UseStepGraph = Spec.UseGraph;
+  Options.Solver = Spec.Solver == "spectral" ? pic::FieldSolverKind::Spectral
+                                             : pic::FieldSolverKind::Fdtd;
+
+  auto Sim = std::make_unique<Simulation>(
+      N, Vector3<double>(0, 0, 0), Step, NumParticles,
+      ParticleTypeTable<double>::natural(), Options);
+
+  // The cold Langmuir seed: uniform electrons, sinusoidal velocity
+  // perturbation along x (omega_p = 1 by the weight choice above).
+  const double V0 = Spec.Amplitude;
+  const double K = 2.0 * constants::Pi / BoxLength;
+  for (Index C = 0; C < N.count(); ++C) {
+    const Index I = C / (N.Ny * N.Nz);
+    const Index J = (C / N.Nz) % N.Ny;
+    const Index K3 = C % N.Nz;
+    for (int P = 0; P < Spec.PerCell; ++P) {
+      ParticleT<double> Particle;
+      Particle.Position = {(double(I) + (P + 0.5) / Spec.PerCell) * Step.X,
+                           (double(J) + 0.5) * Step.Y,
+                           (double(K3) + 0.5) * Step.Z};
+      const double Vx = V0 * std::sin(K * Particle.Position.X);
+      Particle.Momentum = {Vx / std::sqrt(1 - Vx * Vx), 0, 0};
+      Particle.Weight = Weight;
+      Particle.Type = PS_Electron;
+      Sim->addParticle(Particle);
+    }
+  }
+  return Sim;
+}
+
+/// Final state hash of \p Sim (the cross-backend bit-identity metric).
+inline std::uint64_t stateHash(const Simulation &Sim) {
+  return pic::picStateHash(Sim.particles(), Sim.grid());
+}
+
+/// Runs the whole job start-to-finish on the serial backend and
+/// \returns its final state hash — the reference a served run of the
+/// same spec must match bit-for-bit.
+inline std::uint64_t runStandalone(const JobSpec &Spec) {
+  std::unique_ptr<Simulation> Sim = makeSimulation(Spec, "serial");
+  Sim->run(Spec.Steps);
+  return stateHash(*Sim);
+}
+
+} // namespace serve
+} // namespace hichi
+
+#endif // HICHI_SERVE_JOBRUNNER_H

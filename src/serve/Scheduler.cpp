@@ -1,0 +1,401 @@
+//===-- serve/Scheduler.cpp - Multi-tenant job scheduler ------------------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Scheduler.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <thread>
+
+using namespace hichi;
+using namespace hichi::serve;
+
+const char *hichi::serve::jobStateName(JobState State) {
+  switch (State) {
+  case JobState::Pending: return "pending";
+  case JobState::Running: return "running";
+  case JobState::Suspended: return "suspended";
+  case JobState::Completed: return "completed";
+  case JobState::Cancelled: return "cancelled";
+  case JobState::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+static bool isTerminal(JobState State) {
+  return State == JobState::Completed || State == JobState::Cancelled ||
+         State == JobState::Failed;
+}
+
+static bool fileExists(const std::string &Path) {
+  if (std::FILE *File = std::fopen(Path.c_str(), "rb")) {
+    std::fclose(File);
+    return true;
+  }
+  return false;
+}
+
+Scheduler::Scheduler(BackendPool &Pool, ServeConfig Config)
+    : Pool(Pool), Config(std::move(Config)) {
+  this->Config.Workers = std::max(this->Config.Workers, 1);
+  this->Config.BatchMax =
+      std::min(std::max(this->Config.BatchMax, 1), Pool.slotCount());
+}
+
+std::string Scheduler::checkpointPath(const std::string &Name) const {
+  return Config.StateDir + "/job-" + Name + ".ckpt";
+}
+
+std::string Scheduler::manifestPath(const std::string &StateDir) {
+  return StateDir + "/manifest.json";
+}
+
+void Scheduler::enqueue(JobSpec Spec) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(!ByName.count(Spec.Name) && "duplicate job name");
+  Jobs.push_back(Job{});
+  Job &J = Jobs.back();
+  J.Spec = std::move(Spec);
+  J.Enqueued.reset();
+  ByName[J.Spec.Name] = &J;
+  Pending.push_back(&J);
+  QueueCV.notify_one();
+}
+
+void Scheduler::noteCompleted(const JobSpec &Spec, std::uint64_t Hash) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(!ByName.count(Spec.Name) && "duplicate job name");
+  Jobs.push_back(Job{});
+  Job &J = Jobs.back();
+  J.Spec = Spec;
+  J.State = JobState::Completed;
+  J.StepsDone = Spec.Steps;
+  J.Hash = Hash;
+  ByName[J.Spec.Name] = &J;
+  Results.push_back(JobResult{J.Spec.Name, J.Spec.Tenant, J.State, J.Hash,
+                              J.StepsDone, J.Spec.Steps, 0.0, {}});
+}
+
+bool Scheduler::cancel(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = ByName.find(Name);
+  if (It == ByName.end() || isTerminal(It->second->State))
+    return false;
+  Job &J = *It->second;
+  J.CancelRequested = true;
+  if (J.State == JobState::Pending || J.State == JobState::Suspended) {
+    // Still queued: cancel immediately and drop it from the queue.
+    Pending.erase(std::remove(Pending.begin(), Pending.end(), &J),
+                  Pending.end());
+    J.State = JobState::Cancelled;
+    J.LatencyNs = double(J.Enqueued.elapsedNanoseconds());
+    Results.push_back(JobResult{J.Spec.Name, J.Spec.Tenant, J.State, 0,
+                                J.StepsDone, J.Spec.Steps, J.LatencyNs, {}});
+    writeManifestLocked();
+  }
+  // Running jobs are picked up at the next round boundary.
+  return true;
+}
+
+std::vector<JobResult> Scheduler::results() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Results;
+}
+
+long long Scheduler::quantaExecuted() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return QuantaDone;
+}
+
+long long Scheduler::fusedRounds() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return FusedRoundsDone;
+}
+
+bool Scheduler::run() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = false;
+    if (Pending.empty())
+      return true;
+  }
+  std::vector<std::thread> Workers;
+  Workers.reserve(std::size_t(Config.Workers));
+  for (int W = 0; W < Config.Workers; ++W)
+    Workers.emplace_back([this] { workerLoop(); });
+  for (std::thread &T : Workers)
+    T.join();
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  writeManifestLocked();
+  bool AllDone = true;
+  for (const Job &J : Jobs)
+    AllDone = AllDone && isTerminal(J.State);
+  return AllDone;
+}
+
+void Scheduler::workerLoop() {
+  while (true) {
+    std::vector<Job *> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      QueueCV.wait(Lock, [&] { return Stopping || !Pending.empty(); });
+      if (Stopping)
+        return;
+
+      // FIFO head defines the batch; later pending jobs with the same
+      // batch key join (in queue order), up to BatchMax and the pool's
+      // slot budget — one slot per job, acquired all-or-nothing below.
+      Job *First = Pending.front();
+      Pending.pop_front();
+      First->State = JobState::Running;
+      Batch.push_back(First);
+      const std::string Key = batchKey(First->Spec);
+      for (auto It = Pending.begin();
+           It != Pending.end() && int(Batch.size()) < Config.BatchMax;) {
+        if (batchKey((*It)->Spec) == Key) {
+          (*It)->State = JobState::Running;
+          Batch.push_back(*It);
+          It = Pending.erase(It);
+        } else {
+          ++It;
+        }
+      }
+      ++RunningBatches;
+    }
+
+    std::vector<LaneLease> Leases = Pool.acquire(int(Batch.size()));
+    runBatch(Batch, Leases);
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --RunningBatches;
+      ++QuantaDone;
+      if (Config.MaxQuanta >= 0 && QuantaDone >= Config.MaxQuanta)
+        Stopping = true; // crash injection: abandon remaining work
+      if (Pending.empty() && RunningBatches == 0)
+        Stopping = true; // natural completion
+      if (Stopping)
+        QueueCV.notify_all();
+    }
+  }
+}
+
+void Scheduler::runBatch(std::vector<Job *> &Batch,
+                         std::vector<LaneLease> &Leases) {
+  assert(Batch.size() == Leases.size() && "one lease per job");
+  std::vector<ActiveJob> Active;
+  Active.reserve(Batch.size());
+
+  // Build (or restore) each job's simulation on its leased lane slice.
+  // The BindGuard routes the three createBackend("pool") calls inside
+  // the PicSimulation constructor to clients over this job's lease.
+  for (std::size_t I = 0; I < Batch.size(); ++I) {
+    Job *J = Batch[I];
+    ActiveJob A;
+    A.J = J;
+    A.Lease = Leases[I];
+    {
+      BackendPool::BindGuard Guard(Pool, A.Lease);
+      A.Sim = makeSimulation(J->Spec, "pool");
+    }
+    if (!Config.StateDir.empty()) {
+      const std::string Ckpt = checkpointPath(J->Spec.Name);
+      if (fileExists(Ckpt)) {
+        std::string Error;
+        if (!A.Sim->restoreState(Ckpt, &Error)) {
+          finalize(*J, JobState::Failed, 0, std::move(Error));
+          Pool.release(A.Lease);
+          continue;
+        }
+        // The checkpoint's own step index is the truth (crash-safe
+        // against a manifest that lagged the last checkpoint write).
+        J->StepsDone = A.Sim->stepCount();
+      }
+    }
+    Active.push_back(std::move(A));
+  }
+
+  long long QuantumLeft =
+      Config.QuantumSteps > 0 ? Config.QuantumSteps : -1;
+
+  while (!Active.empty() && QuantumLeft != 0) {
+    // Cancellation takes effect here, at a round boundary: every
+    // launch of the previous round has been waited, so dropping the
+    // simulation leaves nothing in flight on the leased lanes.
+    for (auto It = Active.begin(); It != Active.end();) {
+      bool Cancelled;
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Cancelled = It->J->CancelRequested;
+      }
+      if (Cancelled) {
+        finalize(*It->J, JobState::Cancelled, 0, {});
+        Pool.release(It->Lease);
+        It = Active.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    if (Active.empty())
+      break;
+
+    // One round = one step of every active job. When every job's
+    // captured graph is valid, issue all jobs' steps back to back and
+    // only then finish them — the cross-job fused launch round (each
+    // job's DAG replays onto its own disjoint lanes, so the rounds
+    // overlap without sharing any lane). Otherwise (capture steps,
+    // invalidations, classic mode) step each job synchronously.
+    bool AllAsync = Active.size() > 1;
+    for (const ActiveJob &A : Active)
+      AllAsync = AllAsync && A.Sim->canSubmitStepAsync();
+    if (AllAsync) {
+      for (const ActiveJob &A : Active)
+        A.Sim->submitStepAsync();
+      for (const ActiveJob &A : Active)
+        A.Sim->finishStepAsync();
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++FusedRoundsDone;
+    } else {
+      for (const ActiveJob &A : Active)
+        A.Sim->step();
+    }
+
+    for (auto It = Active.begin(); It != Active.end();) {
+      Job &J = *It->J;
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        J.StepsDone = It->Sim->stepCount();
+      }
+      if (J.Spec.EnergyEvery > 0 && J.StepsDone % J.Spec.EnergyEvery == 0 &&
+          Config.Verbose)
+        std::printf("[diag] job=%s tenant=%s step=%d t=%.3f E=%.6e\n",
+                    J.Spec.Name.c_str(), J.Spec.Tenant.c_str(), J.StepsDone,
+                    double(It->Sim->time()), It->Sim->fieldEnergy());
+      if (J.StepsDone >= J.Spec.Steps) {
+        const std::uint64_t Hash = stateHash(*It->Sim);
+        if (!Config.StateDir.empty())
+          std::remove(checkpointPath(J.Spec.Name).c_str());
+        finalize(J, JobState::Completed, Hash, {});
+        Pool.release(It->Lease);
+        It = Active.erase(It);
+        continue;
+      }
+      if (Config.CheckpointEvery > 0 && !Config.StateDir.empty() &&
+          J.StepsDone % Config.CheckpointEvery == 0) {
+        const std::string Ckpt = checkpointPath(J.Spec.Name);
+        std::string Error;
+        // tmp + rename: a crash mid-write never corrupts the previous
+        // good checkpoint.
+        if (It->Sim->saveState(Ckpt + ".tmp", &Error) &&
+            std::rename((Ckpt + ".tmp").c_str(), Ckpt.c_str()) == 0) {
+          // checkpointed; nothing else to do
+        } else {
+          finalize(J, JobState::Failed, 0, std::move(Error));
+          Pool.release(It->Lease);
+          It = Active.erase(It);
+          continue;
+        }
+      }
+      ++It;
+    }
+    if (QuantumLeft > 0)
+      --QuantumLeft;
+  }
+
+  // Quantum expired with jobs unfinished: checkpoint, requeue at the
+  // BACK (newly arrived short jobs get their turn before this long job
+  // continues — the anti-starvation rotation), free the lanes.
+  for (ActiveJob &A : Active) {
+    Job &J = *A.J;
+    if (!Config.StateDir.empty()) {
+      const std::string Ckpt = checkpointPath(J.Spec.Name);
+      std::string Error;
+      if (!(A.Sim->saveState(Ckpt + ".tmp", &Error) &&
+            std::rename((Ckpt + ".tmp").c_str(), Ckpt.c_str()) == 0)) {
+        finalize(J, JobState::Failed, 0, std::move(Error));
+        Pool.release(A.Lease);
+        continue;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      J.State = JobState::Suspended;
+      Pending.push_back(&J);
+      if (Config.Verbose)
+        std::printf("[quantum] job=%s tenant=%s suspended at step %d/%d\n",
+                    J.Spec.Name.c_str(), J.Spec.Tenant.c_str(), J.StepsDone,
+                    J.Spec.Steps);
+      writeManifestLocked();
+    }
+    Pool.release(A.Lease);
+    QueueCV.notify_all();
+  }
+  // Without a StateDir a suspended job restarts from step 0 next
+  // quantum — still correct (deterministic), just wasteful; the tool
+  // always configures a StateDir when quanta are enabled.
+}
+
+void Scheduler::finalize(Job &J, JobState State, std::uint64_t Hash,
+                         std::string Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  J.State = State;
+  J.Hash = Hash;
+  J.Error = std::move(Error);
+  J.LatencyNs = double(J.Enqueued.elapsedNanoseconds());
+  Results.push_back(JobResult{J.Spec.Name, J.Spec.Tenant, J.State, J.Hash,
+                              J.StepsDone, J.Spec.Steps, J.LatencyNs,
+                              J.Error});
+  if (Config.Verbose) {
+    if (State == JobState::Completed)
+      std::printf("[done] job=%s tenant=%s steps=%d hash=%016llx "
+                  "latency=%.1fms\n",
+                  J.Spec.Name.c_str(), J.Spec.Tenant.c_str(), J.StepsDone,
+                  (unsigned long long)J.Hash, J.LatencyNs / 1e6);
+    else
+      std::printf("[%s] job=%s tenant=%s steps=%d/%d%s%s\n",
+                  jobStateName(State), J.Spec.Name.c_str(),
+                  J.Spec.Tenant.c_str(), J.StepsDone, J.Spec.Steps,
+                  J.Error.empty() ? "" : " error=",
+                  J.Error.c_str());
+  }
+  writeManifestLocked();
+}
+
+void Scheduler::writeManifestLocked() {
+  if (Config.StateDir.empty())
+    return;
+  const std::string Path = manifestPath(Config.StateDir);
+  const std::string Tmp = Path + ".tmp";
+  std::FILE *File = std::fopen(Tmp.c_str(), "w");
+  if (!File)
+    return; // manifest is best-effort; checkpoints carry the real state
+  std::fprintf(File, "{\n  \"schema\": \"hichi-serve-manifest-v1\",\n"
+                     "  \"jobs\": [\n");
+  std::size_t I = 0;
+  for (const Job &J : Jobs) {
+    std::fprintf(
+        File,
+        "    {\"name\": \"%s\", \"tenant\": \"%s\", \"state\": \"%s\", "
+        "\"steps_done\": %d, \"steps_total\": %d, \"hash\": \"%016llx\", "
+        "\"checkpoint\": \"%s\"}%s\n",
+        json::escapeJsonString(J.Spec.Name).c_str(),
+        json::escapeJsonString(J.Spec.Tenant).c_str(),
+        jobStateName(J.State), J.StepsDone, J.Spec.Steps,
+        (unsigned long long)J.Hash,
+        json::escapeJsonString(isTerminal(J.State)
+                                   ? std::string()
+                                   : checkpointPath(J.Spec.Name))
+            .c_str(),
+        ++I < Jobs.size() ? "," : "");
+  }
+  std::fprintf(File, "  ]\n}\n");
+  std::fclose(File);
+  std::rename(Tmp.c_str(), Path.c_str());
+}

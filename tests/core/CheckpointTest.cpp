@@ -1,0 +1,228 @@
+//===-- tests/core/CheckpointTest.cpp - Checkpoint format tests ----------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The checkpoint contracts: layout-independent round trips (an AoS
+// ensemble restores bitwise into an SoA one and back), full-state (v2)
+// round trips preserving step index / time / field bits, and damage
+// rejection — truncated files, foreign magic, wrong scalar width, and
+// version confusion all fail with a one-line reason instead of
+// crashing or silently mis-restoring.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checkpoint.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace hichi;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return testing::TempDir() + Name;
+}
+
+/// Particles whose every scalar has a full irrational mantissa — a
+/// round trip that drops or recomputes any bit cannot pass.
+template <typename Array> void seedAwkwardParticles(Array &Particles, int N) {
+  using Real = typename Array::Scalar;
+  for (int I = 0; I < N; ++I) {
+    ParticleT<Real> P;
+    P.Position = {Real(std::sqrt(2.0) * (I + 1)),
+                  Real(std::sqrt(3.0) * (I + 1)),
+                  Real(-std::sqrt(5.0) * (I + 1))};
+    P.Momentum = {Real(0.1 * I - 0.5), Real(std::cbrt(7.0) * I),
+                  Real(1.0 / (I + 3))};
+    P.Weight = Real(1e-3 * (I + 1));
+    // Deliberately NOT the gamma the momentum implies: the restore must
+    // preserve the stored bits verbatim, not recompute them.
+    P.Gamma = Real(1.0 + 1e-7 * I);
+    P.Type = short(I % 2 == 0 ? PS_Electron : PS_Proton);
+    Particles.pushBack(P);
+  }
+}
+
+template <typename A, typename B>
+void expectBitwiseEqual(const A &Lhs, const B &Rhs) {
+  using Real = typename A::Scalar;
+  ASSERT_EQ(Lhs.size(), Rhs.size());
+  for (Index I = 0; I < Lhs.size(); ++I) {
+    const ParticleT<Real> P = Lhs.view()[I].load();
+    const ParticleT<Real> Q = Rhs.view()[I].load();
+    const Real Ps[8] = {P.Position.X, P.Position.Y, P.Position.Z,
+                        P.Momentum.X, P.Momentum.Y, P.Momentum.Z,
+                        P.Weight,     P.Gamma};
+    const Real Qs[8] = {Q.Position.X, Q.Position.Y, Q.Position.Z,
+                        Q.Momentum.X, Q.Momentum.Y, Q.Momentum.Z,
+                        Q.Weight,     Q.Gamma};
+    EXPECT_EQ(0, std::memcmp(Ps, Qs, sizeof(Ps))) << "particle " << I;
+    EXPECT_EQ(P.Type, Q.Type) << "particle " << I;
+  }
+}
+
+TEST(CheckpointTest, AosToSoaBitwiseRoundTrip) {
+  const std::string Path = tempPath("ckpt_aos_soa.ckpt");
+  ParticleArrayAoS<double> Saved(32);
+  seedAwkwardParticles(Saved, 17);
+
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Saved, Path, &Error)) << Error;
+
+  ParticleArraySoA<double> Restored(32);
+  ASSERT_TRUE(loadCheckpoint(Restored, Path, &Error)) << Error;
+  expectBitwiseEqual(Saved, Restored);
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, SoaToAosBitwiseRoundTrip) {
+  const std::string Path = tempPath("ckpt_soa_aos.ckpt");
+  ParticleArraySoA<double> Saved(32);
+  seedAwkwardParticles(Saved, 17);
+
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Saved, Path, &Error)) << Error;
+
+  ParticleArrayAoS<double> Restored(32);
+  ASSERT_TRUE(loadCheckpoint(Restored, Path, &Error)) << Error;
+  expectBitwiseEqual(Saved, Restored);
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, ScalarWidthMismatchRejected) {
+  const std::string Path = tempPath("ckpt_width.ckpt");
+  ParticleArrayAoS<double> Saved(8);
+  seedAwkwardParticles(Saved, 4);
+  ASSERT_TRUE(saveCheckpoint(Saved, Path));
+
+  ParticleArrayAoS<float> Restored(8);
+  std::string Error;
+  EXPECT_FALSE(loadCheckpoint(Restored, Path, &Error));
+  EXPECT_NE(Error.find("scalar width mismatch"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("8-byte"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("4-byte"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileRejected) {
+  const std::string Path = tempPath("ckpt_trunc.ckpt");
+  ParticleArrayAoS<double> Saved(8);
+  seedAwkwardParticles(Saved, 8);
+  ASSERT_TRUE(saveCheckpoint(Saved, Path));
+
+  // Rewrite the file keeping the header and only part of the records.
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(File, nullptr);
+  char Buffer[128];
+  const std::size_t Kept = std::fread(Buffer, 1, sizeof(Buffer), File);
+  std::fclose(File);
+  File = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(File, nullptr);
+  ASSERT_EQ(std::fwrite(Buffer, 1, Kept, File), Kept);
+  std::fclose(File);
+
+  ParticleArrayAoS<double> Restored(8);
+  std::string Error;
+  EXPECT_FALSE(loadCheckpoint(Restored, Path, &Error));
+  EXPECT_NE(Error.find("truncated checkpoint"), std::string::npos) << Error;
+
+  // Header alone truncated: a file shorter than 32 bytes.
+  File = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(File, nullptr);
+  ASSERT_EQ(std::fwrite(Buffer, 1, 10, File), std::size_t(10));
+  std::fclose(File);
+  EXPECT_FALSE(loadCheckpoint(Restored, Path, &Error));
+  EXPECT_NE(Error.find("header incomplete"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, CorruptMagicRejected) {
+  const std::string Path = tempPath("ckpt_magic.ckpt");
+  ParticleArrayAoS<double> Saved(8);
+  seedAwkwardParticles(Saved, 4);
+  ASSERT_TRUE(saveCheckpoint(Saved, Path));
+
+  std::FILE *File = std::fopen(Path.c_str(), "rb+");
+  ASSERT_NE(File, nullptr);
+  const std::uint32_t Junk = 0xDEADBEEF;
+  ASSERT_EQ(std::fwrite(&Junk, sizeof(Junk), 1, File), std::size_t(1));
+  std::fclose(File);
+
+  ParticleArrayAoS<double> Restored(8);
+  std::string Error;
+  EXPECT_FALSE(loadCheckpoint(Restored, Path, &Error));
+  EXPECT_NE(Error.find("not a hichi checkpoint"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, CapacityOverflowRejected) {
+  const std::string Path = tempPath("ckpt_capacity.ckpt");
+  ParticleArrayAoS<double> Saved(8);
+  seedAwkwardParticles(Saved, 8);
+  ASSERT_TRUE(saveCheckpoint(Saved, Path));
+
+  ParticleArrayAoS<double> TooSmall(4);
+  std::string Error;
+  EXPECT_FALSE(loadCheckpoint(TooSmall, Path, &Error));
+  EXPECT_NE(Error.find("exceed array capacity"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, FullStateRoundTripAndVersionGuard) {
+  const std::string Path = tempPath("ckpt_state.ckpt");
+  ParticleArrayAoS<double> Saved(16);
+  seedAwkwardParticles(Saved, 11);
+  std::vector<double> FieldA = {std::sqrt(2.0), -std::sqrt(3.0), 0.25};
+  std::vector<double> FieldB = {1e-9, -1e9};
+
+  std::string Error;
+  ASSERT_TRUE(saveSimulationCheckpoint(
+      Saved, /*StepIndex=*/123, /*Time=*/61.5,
+      {{FieldA.data(), Index(FieldA.size())},
+       {FieldB.data(), Index(FieldB.size())}},
+      Path, &Error))
+      << Error;
+
+  // The v1 loader must refuse the v2 file and point at the right API.
+  ParticleArrayAoS<double> WrongLoader(16);
+  EXPECT_FALSE(loadCheckpoint(WrongLoader, Path, &Error));
+  EXPECT_NE(Error.find("use loadSimulationCheckpoint"), std::string::npos)
+      << Error;
+
+  std::vector<double> OutA(FieldA.size(), 0.0), OutB(FieldB.size(), 0.0);
+  ParticleArraySoA<double> Restored(16);
+  std::int64_t StepIndex = 0;
+  double Time = 0;
+  ASSERT_TRUE(loadSimulationCheckpoint(
+      Restored, StepIndex, Time,
+      {{OutA.data(), Index(OutA.size())}, {OutB.data(), Index(OutB.size())}},
+      Path, &Error))
+      << Error;
+  EXPECT_EQ(StepIndex, 123);
+  EXPECT_EQ(Time, 61.5);
+  EXPECT_EQ(0, std::memcmp(FieldA.data(), OutA.data(),
+                           FieldA.size() * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(FieldB.data(), OutB.data(),
+                           FieldB.size() * sizeof(double)));
+  expectBitwiseEqual(Saved, Restored);
+
+  // Field-list mismatches are rejected with the offending index.
+  EXPECT_FALSE(loadSimulationCheckpoint(
+      Restored, StepIndex, Time, {{OutA.data(), Index(OutA.size())}}, Path,
+      &Error));
+  EXPECT_NE(Error.find("field count mismatch"), std::string::npos) << Error;
+  EXPECT_FALSE(loadSimulationCheckpoint(
+      Restored, StepIndex, Time,
+      {{OutA.data(), Index(OutA.size())}, {OutB.data(), Index(1)}}, Path,
+      &Error));
+  EXPECT_NE(Error.find("field 1 size mismatch"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}
+
+} // namespace

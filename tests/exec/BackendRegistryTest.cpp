@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 using namespace hichi;
@@ -230,6 +231,53 @@ TEST(BackendConfigTest, CoarseTileLaunchVisitsEveryItemExactlyOnce) {
       EXPECT_EQ(Visits[std::size_t(T)].load(), 1)
           << Name << " tile " << T;
   }
+}
+
+TEST(BackendRegistryTest, ConcurrentUseFromSchedulerThreadsIsSafe) {
+  // The serve scheduler's workers hit the registry concurrently: each
+  // job construction resolves three backends by name while tools and
+  // pools may be registering. Hammer every entry point from many
+  // threads; the registrations must have exactly one winner per name
+  // and every lookup must resolve consistently (TSan-clean under
+  // ctest's threading job when enabled).
+  BackendRegistry &Registry = BackendRegistry::instance();
+  const int ThreadCount = 8;
+  const int Rounds = 50;
+  std::atomic<int> RaceWinners{0};
+  std::atomic<bool> Failed{false};
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < ThreadCount; ++T)
+    Threads.emplace_back([&, T] {
+      // One name all threads race for, and one unique name per thread.
+      if (Registry.registerBackend("threaded-race", "race target",
+                                   [](const BackendConfig &) {
+                                     return std::make_unique<EchoBackend>();
+                                   }))
+        ++RaceWinners;
+      const std::string Mine = "threaded-" + std::to_string(T);
+      if (!Registry.registerBackend(Mine, "per-thread entry",
+                                    [](const BackendConfig &) {
+                                      return std::make_unique<EchoBackend>();
+                                    }))
+        Failed = true;
+      for (int R = 0; R < Rounds; ++R) {
+        if (!createBackend("serial") || !createBackend(Mine) ||
+            !Registry.contains("threaded-race") ||
+            Registry.description("serial").empty())
+          Failed = true;
+        (void)Registry.names();
+        (void)createBackend("no-such-backend");
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_FALSE(Failed.load());
+  EXPECT_EQ(RaceWinners.load(), 1)
+      << "concurrent duplicate registration must have exactly one winner";
+  for (int T = 0; T < ThreadCount; ++T)
+    EXPECT_TRUE(Registry.contains("threaded-" + std::to_string(T)));
 }
 
 TEST(BackendConfigTest, SerialAndStaticHandleEmptyAndTinyRanges) {
