@@ -43,6 +43,7 @@
 #define HICHI_BENCH_BENCHMARKHARNESS_H
 
 #include "core/Core.h"
+#include "exec/Autotuner.h"
 #include "exec/BackendRegistry.h"
 #include "exec/StepLoop.h"
 #include "fields/DipoleWave.h"
@@ -160,6 +161,14 @@ inline bool envRebalanceMode() {
   return getEnvInt("HICHI_BENCH_REBALANCE").value_or(1) != 0;
 }
 
+/// Autotuned knob defaults requested via HICHI_BENCH_TUNE (any nonzero
+/// value): applyEnvPicBackends lets the autotuner plan fill every stage
+/// knob no environment variable pinned, and benches embed the plan's
+/// one-line report in their JSON records (JsonReport::setTune).
+inline bool envTuneMode() {
+  return getEnvInt("HICHI_BENCH_TUNE").value_or(0) != 0;
+}
+
 /// Prefills the per-stage exec knobs of \p Options (a pic::PicOptions,
 /// taken as a template so the exec-layer benches need no pic include)
 /// from the environment in one place: the three stage backends from
@@ -175,6 +184,11 @@ void applyEnvPicBackends(PicOptionsT &Options,
   Options.DepositBackend = envDepositBackendName(Fallback);
   Options.FieldBackend = envFieldBackendName(Fallback);
   Options.UseStepGraph = envGraphMode();
+  // HICHI_BENCH_TUNE: the autotuner plan fills whatever the environment
+  // left at its default ("serial" backends, 0 counts) — environment
+  // pins win, the plan fills the rest, same precedence rule as above.
+  if (envTuneMode())
+    exec::applyTunePlan(Options, exec::Autotuner::hostPlan());
 }
 
 /// \returns the backend named \p Name from the registry, or dies with a

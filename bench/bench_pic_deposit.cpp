@@ -152,6 +152,10 @@ int main() {
               Sizes.Iterations, PushBackend.c_str());
 
   JsonReport Report("bench_pic_deposit");
+  // Under HICHI_BENCH_TUNE the archived records say which knob
+  // assignment the autotuner would pick on this host.
+  if (envTuneMode())
+    Report.setTune(exec::Autotuner::hostPlan().reportLine());
 
   // Baseline: the classic serial particle-order scatter (1 tile).
   const StageResult Serial = measureConfig(N, PerCell, PushBackend, "serial",

@@ -42,17 +42,6 @@ using namespace hichi::serve;
 
 namespace {
 
-double percentileNs(std::vector<double> Sorted, double Fraction) {
-  if (Sorted.empty())
-    return 0;
-  std::sort(Sorted.begin(), Sorted.end());
-  const double Pos = Fraction * double(Sorted.size() - 1);
-  const std::size_t Lo = std::size_t(Pos);
-  const std::size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
-  return Sorted[Lo] * (1.0 - (Pos - double(Lo))) +
-         Sorted[Hi] * (Pos - double(Lo));
-}
-
 struct ServeConfigPoint {
   const char *Label;
   int Workers;
@@ -138,13 +127,14 @@ int main() {
 
   bool AllOk = true;
   for (const ServeConfigPoint &Point : Points) {
-    const MixResult R = measureMix(Specs, Point, Iterations, Reference);
+    MixResult R = measureMix(Specs, Point, Iterations, Reference);
     AllOk = AllOk && R.HashesOk;
 
     const double WallNs = R.Wall.medianNs();
     const double JobsPerSec = WallNs > 0 ? double(Jobs) / (WallNs / 1e9) : 0;
-    const double P50 = percentileNs(R.Latencies, 0.50);
-    const double P95 = percentileNs(R.Latencies, 0.95);
+    std::sort(R.Latencies.begin(), R.Latencies.end());
+    const double P50 = percentile(R.Latencies, 0.50);
+    const double P95 = percentile(R.Latencies, 0.95);
     std::printf("%-14s %10.2f %9.1f %10.2f %10.2f %7lld %6s\n", Point.Label,
                 WallNs / 1e6, JobsPerSec, P50 / 1e6, P95 / 1e6,
                 R.FusedRounds, R.HashesOk ? "OK" : "FAIL");

@@ -61,6 +61,13 @@ run_smoke_benches() {
 }
 
 ./build/hichi_push --list-runners
+
+# Calibrate the machine profile once (the fast sweep): the artifact is
+# the `hichi-machine-v1` document the autotuner plans from, and the
+# bench fails by itself if its own save -> load round trip is not
+# bit-identical.
+./build/bench_calibrate --fast --out results/machine_profile.json
+
 run_smoke_benches
 
 # All runners (the event-chained async-pipeline included) must agree
@@ -125,6 +132,11 @@ PIC_HASHES="$(
   ./build/pic_langmuir --steps 40 --rebalance 1.5 \
     | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
   ./build/pic_langmuir --steps 40 --shards 3 --rebalance 1.5 --graph \
+    | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
+  # The autotuner's chosen knobs are hash-invariant by construction
+  # (backends/threads/tiles/graph only), so a tuned run must land on the
+  # same hash as every row above.
+  ./build/pic_langmuir --steps 40 --tune \
     | sed -n 's/final state hash = \([0-9a-f]*\).*/\1/p'
 )"
 if [ "$(echo "$PIC_HASHES" | sort -u | wc -l)" != "1" ]; then
@@ -273,7 +285,12 @@ for f in files:
     with open(f) as fh:
         doc = json.load(fh)
     assert doc["schema"] == "hichi-bench-v1" and doc["results"], f
-print(f"JSON artifacts: OK ({len(files)} files)")
+with open("results/machine_profile.json") as fh:
+    prof = json.load(fh)
+assert prof["schema"] == "hichi-machine-v1", "machine_profile.json"
+assert prof["bandwidth_tiers"] and prof["submit_overheads"], \
+    "machine_profile.json is missing measured sections"
+print(f"JSON artifacts: OK ({len(files)} files + machine profile)")
 EOF
 fi
 

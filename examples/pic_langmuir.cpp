@@ -91,6 +91,15 @@ int main(int Argc, char **Argv) {
   Args.addFlag("graph", "capture the five-stage step's launch DAG on the "
                         "first step and replay it on every later one "
                         "(bit-identical; see exec/StepGraph.h)");
+  Args.addFlag("tune",
+               "pick backend/thread/tile knobs from the host's measured "
+               "machine profile (exec/Autotuner.h) for every stage whose "
+               "flag was not given explicitly; prints the chosen knobs. "
+               "Tuned knobs are hash-invariant");
+  Args.addOption("tune-trials",
+                 "measured hill-climb trials refining the roofline seed "
+                 "(short scratch runs; 0 = roofline seed only)",
+                 "0");
   Args.addFlag("stats", "print per-step submit-overhead counters (launches, "
                         "specs built, microseconds inside submit) per stage");
   Args.addFlag("list-runners", "list registered execution backends and exit");
@@ -169,6 +178,87 @@ int main(int Argc, char **Argv) {
                  SolverName.c_str());
     return 1;
   }
+  // The sinusoidally perturbed cold ensemble, seedable into any
+  // simulation instance (the autotuner's measured trials below run it on
+  // scratch instances before the real run does).
+  const double V0 = 0.02;
+  const double K = 2.0 * constants::Pi / BoxLength;
+  auto seedEnsemble = [&](PicSimulation<double> &S) {
+    for (Index C = 0; C < N.count(); ++C) {
+      Index I = C / (N.Ny * N.Nz);
+      Index J = (C / N.Nz) % N.Ny;
+      Index K3 = C % N.Nz;
+      for (int P = 0; P < PerCell; ++P) {
+        ParticleT<double> Particle;
+        Particle.Position = {(double(I) + (P + 0.5) / PerCell) * Step.X,
+                             (double(J) + 0.5) * Step.Y,
+                             (double(K3) + 0.5) * Step.Z};
+        double Vx = V0 * std::sin(K * Particle.Position.X);
+        Particle.Momentum = {Vx / std::sqrt(1 - Vx * Vx), 0, 0};
+        Particle.Weight = Weight;
+        Particle.Type = PS_Electron;
+        S.addParticle(Particle);
+      }
+    }
+  };
+
+  // --tune fills every knob whose flag was not given explicitly from the
+  // autotuner plan (same precedence rule as --shards: explicit flags
+  // win), optionally refined by short measured trial runs. Every tuned
+  // knob is hash-invariant, so the final hash below must still equal the
+  // serial reference — ci/run.sh includes a --tune row in its
+  // cross-backend hash gate.
+  if (Args.getFlag("tune")) {
+    auto applyPlan = [&](PicOptions<double> &O, const exec::TunePlan &Plan) {
+      if (!Args.seen("push-backend"))
+        O.PushBackend = Plan.Push.Backend;
+      if (!Args.seen("threads"))
+        O.PushThreads = Plan.Push.Threads;
+      if (!Args.seen("pipeline-chunks"))
+        O.PushPipelineChunks = Plan.PipelineChunks;
+      if (!Args.seen("deposit-backend"))
+        O.DepositBackend = Plan.Deposit.Backend;
+      if (!Args.seen("deposit-threads"))
+        O.DepositThreads = Plan.Deposit.Threads;
+      if (!Args.seen("deposit-tiles"))
+        O.DepositTiles = Plan.Deposit.Tiles;
+      if (!Args.seen("field-backend"))
+        O.FieldBackend = Plan.Field.Backend;
+      if (!Args.seen("field-threads"))
+        O.FieldThreads = Plan.Field.Threads;
+      if (!Args.seen("field-tiles"))
+        O.FieldTiles = Plan.Field.Tiles;
+      if (!Args.getFlag("graph"))
+        O.UseStepGraph = Plan.UseStepGraph;
+    };
+    exec::TunePlan Plan = exec::Autotuner::hostPlan();
+    const int Trials = int(Args.getInt("tune-trials").value_or(0));
+    if (Trials > 0) {
+      const int TrialSteps = 4;
+      int Used = 0;
+      Plan = exec::Autotuner::refine(
+          Plan,
+          [&](const exec::TunePlan &Candidate) {
+            PicOptions<double> TrialOptions = Options;
+            applyPlan(TrialOptions, Candidate);
+            PicSimulation<double> Trial(N, {0, 0, 0}, Step, NumParticles,
+                                        ParticleTypeTable<double>::natural(),
+                                        TrialOptions);
+            seedEnsemble(Trial);
+            for (int S = 0; S < TrialSteps; ++S)
+              Trial.step();
+            return Trial.pushStats().HostNs + Trial.depositStats().HostNs +
+                   Trial.fieldStats().HostNs +
+                   Trial.submitOverhead().SubmitNs;
+          },
+          Trials, &Used);
+      std::printf("autotuner: %d measured trial run(s) refined the roofline "
+                  "seed\n",
+                  Used);
+    }
+    applyPlan(Options, Plan);
+    std::printf("%s\n", Plan.report().c_str());
+  }
   if (!exec::BackendRegistry::instance().contains(Options.PushBackend) ||
       !exec::BackendRegistry::instance().contains(Options.DepositBackend) ||
       !exec::BackendRegistry::instance().contains(Options.FieldBackend)) {
@@ -178,25 +268,7 @@ int main(int Argc, char **Argv) {
   }
   PicSimulation<double> Sim(N, {0, 0, 0}, Step, NumParticles,
                             ParticleTypeTable<double>::natural(), Options);
-
-  const double V0 = 0.02;
-  const double K = 2.0 * constants::Pi / BoxLength;
-  for (Index C = 0; C < N.count(); ++C) {
-    Index I = C / (N.Ny * N.Nz);
-    Index J = (C / N.Nz) % N.Ny;
-    Index K3 = C % N.Nz;
-    for (int P = 0; P < PerCell; ++P) {
-      ParticleT<double> Particle;
-      Particle.Position = {(double(I) + (P + 0.5) / PerCell) * Step.X,
-                           (double(J) + 0.5) * Step.Y,
-                           (double(K3) + 0.5) * Step.Z};
-      double Vx = V0 * std::sin(K * Particle.Position.X);
-      Particle.Momentum = {Vx / std::sqrt(1 - Vx * Vx), 0, 0};
-      Particle.Weight = Weight;
-      Particle.Type = PS_Electron;
-      Sim.addParticle(Particle);
-    }
-  }
+  seedEnsemble(Sim);
 
   std::printf("Cold Langmuir oscillation: %lld macro-electrons on a "
               "%lldx%lldx%lld grid, omega_p = 1\n\n",

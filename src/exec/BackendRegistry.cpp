@@ -7,6 +7,7 @@
 #include "exec/BackendRegistry.h"
 
 #include "exec/AsyncPipeline.h"
+#include "exec/Autotuner.h"
 #include "exec/Backends.h"
 #include "exec/ShardedBackend.h"
 
@@ -44,6 +45,10 @@ BackendRegistry::BackendRegistry() {
                   [](const BackendConfig &C) {
                     return std::make_unique<ShardedBackend>(C);
                   });
+  // Last so "auto" lists after the concrete strategies it delegates to.
+  // Passed *this, not instance(): we are inside that magic static's
+  // initialization right now.
+  registerAutoBackend(*this);
 }
 
 BackendRegistry &BackendRegistry::instance() {

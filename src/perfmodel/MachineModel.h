@@ -25,6 +25,8 @@
 namespace hichi {
 namespace perfmodel {
 
+struct MachineProfile;
+
 /// Static description of a multi-socket CPU node.
 struct CpuMachine {
   std::string Name;
@@ -67,8 +69,16 @@ struct CpuMachine {
            double(SimdLanesSingle) * FlopsPerCyclePerLane;
   }
 
-  /// The paper's CPU node (Table 1).
+  /// The paper's CPU node (Table 1) — the audit instance every Table-2 /
+  /// Fig-1 reproduction test pins.
   static CpuMachine xeon8260LNode();
+
+  /// A machine calibrated from a measured `hichi-machine-v1` profile
+  /// (perfmodel/Calibration.h): DRAM-tier stream bandwidths map onto the
+  /// socket/per-core fields and the measured FMA rate onto the compute
+  /// product (see Calibration.cpp for the exact encoding). Defined in
+  /// Calibration.cpp.
+  static CpuMachine fromProfile(const MachineProfile &Profile);
 };
 
 } // namespace perfmodel

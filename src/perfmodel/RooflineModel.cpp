@@ -88,6 +88,40 @@ double perfmodel::predictSpeedup(const CpuMachine &Machine, Scenario S,
   return Serial / Parallel;
 }
 
+StagePrediction perfmodel::predictStageNs(const CpuMachine &Machine,
+                                          const StageWorkload &Workload,
+                                          int Threads, Precision P) {
+  assert(Threads >= 1 && Threads <= Machine.coreCount() &&
+         "thread count exceeds machine");
+  StagePrediction Out;
+
+  // Memory leg: compact fill (socket 0 first), each socket's bandwidth
+  // the smaller of line-fill concurrency and its DIMM ceiling.
+  const int OnSocket0 = std::min(Threads, Machine.CoresPerSocket);
+  const int OnSocket1 = Threads - OnSocket0;
+  auto SocketBandwidth = [&](int CoresActive) {
+    return std::min(double(CoresActive) * Machine.PerCoreBandwidth,
+                    Machine.LocalBandwidthPerSocket);
+  };
+  const double TotalBandwidth =
+      SocketBandwidth(OnSocket0) + SocketBandwidth(OnSocket1);
+  Out.MemoryNs =
+      TotalBandwidth > 0 ? Workload.BytesPerItem / TotalBandwidth * 1e9 : 0;
+
+  // Compute leg: the machine's sustained vector product derated by the
+  // stage's own vectorizability.
+  const int Lanes = P == Precision::Single ? Machine.SimdLanesSingle
+                                           : Machine.SimdLanesSingle / 2;
+  const double Rate = double(Threads) * Machine.SustainedClockGHz * 1e9 *
+                      double(std::max(1, Lanes)) *
+                      Machine.FlopsPerCyclePerLane *
+                      Workload.VectorEfficiency;
+  Out.ComputeNs = Rate > 0 ? Workload.FlopsPerItem / Rate * 1e9 : 0;
+
+  Out.NsPerItem = std::max(Out.MemoryNs, Out.ComputeNs);
+  return Out;
+}
+
 double perfmodel::predictFirstIterationFactor(Parallelization Par,
                                               double IterationNs,
                                               double JitNs) {

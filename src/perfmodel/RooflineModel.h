@@ -55,6 +55,26 @@ double predictSpeedup(const CpuMachine &Machine, Scenario S, Layout L,
 double predictFirstIterationFactor(Parallelization Par, double IterationNs,
                                    double JitNs);
 
+/// One modeled PIC-stage point on an arbitrary (possibly measured)
+/// machine: ns per work item at the given thread count.
+struct StagePrediction {
+  double MemoryNs = 0;  ///< streamed-bytes leg [ns/item]
+  double ComputeNs = 0; ///< vector-compute leg [ns/item]
+  double NsPerItem = 0; ///< max of the two legs
+
+  bool memoryBound() const { return MemoryNs >= ComputeNs; }
+};
+
+/// Roofline of one PIC stage (WorkloadModel.h StageWorkload) on
+/// \p Machine with \p Threads threads, compact socket fill. Unlike
+/// predictCpuNsps this carries no NUMA remote fraction: the tuned
+/// placements it compares (static pools, first-touched shard arenas)
+/// keep traffic local by construction. The autotuner seeds its knob
+/// choices from this and hill-climbs from measured stats afterwards.
+StagePrediction predictStageNs(const CpuMachine &Machine,
+                               const StageWorkload &Workload, int Threads,
+                               Precision P = Precision::Double);
+
 } // namespace perfmodel
 } // namespace hichi
 

@@ -133,6 +133,51 @@ double perfmodel::streamCountBandwidthFactor(Layout L) {
   return L == Layout::SoA ? 0.90 : 1.0;
 }
 
+StageWorkload perfmodel::pushStageWorkload(Precision P) {
+  const double Scalar = P == Precision::Single ? 4.0 : 8.0;
+  StageWorkload W;
+  W.Stage = "push";
+  // Particle record read + RFO write, plus the trilinear E/B gather: 6
+  // field components from 8 grid corners, but consecutive particles of a
+  // sorted ensemble share corners, so the streamed share is ~one vector
+  // pair per particle (6 scalars).
+  W.BytesPerItem = 3.0 * particleStoredBytes(P) + 6.0 * Scalar;
+  // Boris kernel (see flopsPerParticleStep) + trilinear weights and the
+  // 8-corner accumulation for both fields (~2 x 8 x 7 FMAs + weights).
+  W.FlopsPerItem = 100.0 + 130.0;
+  W.VectorEfficiency = 0.35; // AoS-ish gathers between unit-stride spans
+  return W;
+}
+
+StageWorkload perfmodel::depositStageWorkload(Precision P) {
+  const double Scalar = P == Precision::Single ? 4.0 : 8.0;
+  StageWorkload W;
+  W.Stage = "deposit";
+  // Particle read + saved old position (3 scalars), and the 3x3x3
+  // current scatter: 81 read-modify-write scalars per particle, but a
+  // tile's current slab is cache-resident, so the streamed share is the
+  // slab written back once per tile pass (~2 lines per particle).
+  W.BytesPerItem = particleStoredBytes(P) + 3.0 * Scalar + 16.0 * Scalar;
+  // Esirkepov form factors (3 x 2 x 3 quadratics), the 27-cell W-tensor
+  // assembly and the three current accumulations.
+  W.FlopsPerItem = 320.0;
+  W.VectorEfficiency = 0.20; // indexed scatter, little SIMD to be had
+  return W;
+}
+
+StageWorkload perfmodel::fieldStageWorkload(Precision P) {
+  const double Scalar = P == Precision::Single ? 4.0 : 8.0;
+  StageWorkload W;
+  W.Stage = "field";
+  // Per cell and step: read E(3), B(3), J(3); write E(3), B(3) with RFO.
+  W.BytesPerItem = 9.0 * Scalar + 2.0 * 6.0 * Scalar;
+  // Two curl applications (~11 flops per updated component) + the J
+  // subtraction.
+  W.FlopsPerItem = 70.0;
+  W.VectorEfficiency = 0.50; // unit-stride stencil, vectorizes well
+  return W;
+}
+
 gpusim::KernelProfile perfmodel::gpuKernelProfile(Scenario S, Layout L,
                                                   Precision P) {
   Traffic T = trafficPerParticleStep(S, L, P);

@@ -95,6 +95,37 @@ double streamCountBandwidthFactor(Layout L);
 /// strided.
 gpusim::KernelProfile gpuKernelProfile(Scenario S, Layout L, Precision P);
 
+//===----------------------------------------------------------------------===//
+// Per-stage workload descriptors (the autotuner's roofline inputs)
+//===----------------------------------------------------------------------===//
+
+/// First-order byte/flop accounting of one work item of a PIC-loop stage,
+/// feeding predictStageNs (RooflineModel.h) so the autotuner can compare
+/// thread counts and backends on a *measured* machine. BytesPerItem is
+/// streamed traffic including RFO; the counts are deliberately coarse
+/// (the hill-climb refines from measured stats afterwards) but their
+/// ratios — deposit is scatter-bound, the field solve is a thin
+/// streaming pass — are what the knob decisions hinge on.
+struct StageWorkload {
+  const char *Stage = "";      ///< "push" | "deposit" | "field"
+  double BytesPerItem = 0;     ///< streamed bytes per item (RFO included)
+  double FlopsPerItem = 0;     ///< effective flops per item
+  double VectorEfficiency = 1; ///< fraction of peak vector throughput
+};
+
+/// Interpolate+push, per particle: particle read + RFO write, the
+/// cached grid gather of E and B, Boris kernel + trilinear weights.
+StageWorkload pushStageWorkload(Precision P);
+
+/// Esirkepov current deposition, per particle: particle + old-position
+/// reads and the 3x3x3 current scatter (read-modify-write, mostly
+/// cache-resident per tile), form-factor arithmetic.
+StageWorkload depositStageWorkload(Precision P);
+
+/// FDTD field solve, per cell: E/B/J reads, E/B RFO writes, the two curl
+/// updates.
+StageWorkload fieldStageWorkload(Precision P);
+
 } // namespace perfmodel
 } // namespace hichi
 

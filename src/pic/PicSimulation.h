@@ -49,6 +49,7 @@
 
 #include "core/Checkpoint.h"
 #include "core/Core.h"
+#include "exec/Autotuner.h"
 #include "exec/BackendRegistry.h"
 #include "exec/ShardedBackend.h"
 #include "exec/SlabPartition.h"
@@ -178,6 +179,14 @@ template <typename Real> struct PicOptions {
   /// Damping exponent at the outermost sponge cell per application
   /// (AbsorbingLayer's quadratic-ramp profile).
   Real AbsorbingStrength = Real(0.5);
+
+  /// Let the autotuner (exec/Autotuner.h) fill every stage knob still at
+  /// its built-in default — backends left at "serial", thread/tile/chunk
+  /// counts left at 0, step graph left off — from the host's measured
+  /// machine profile. Knobs set explicitly (above) always win. All tuned
+  /// knobs are hash-invariant, so a tuned run's state hash still equals
+  /// the serial reference.
+  bool Tune = false;
 };
 
 /// Accumulated timing of the double-buffered precalc/push pipeline (only
@@ -213,6 +222,8 @@ public:
       : Grid(Size, Origin, Step), Particles(ParticleCapacity),
         Types(std::move(Types)), Solver(Options.LightVelocity),
         Indexer(Grid), Options(Options) {
+    if (this->Options.Tune)
+      exec::applyTunePlan(this->Options, exec::Autotuner::hostPlan());
     Backend = exec::createBackend(this->Options.PushBackend,
                                   {this->Options.PushThreads, /*Grain=*/0});
     if (!Backend)

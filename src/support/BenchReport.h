@@ -91,6 +91,12 @@ public:
 
   bool empty() const { return Records.empty(); }
 
+  /// Embeds the autotuner's one-line chosen-knob report as the
+  /// document's optional "tune" key (benches set it under
+  /// HICHI_BENCH_TUNE so archived records say what knob assignment
+  /// produced them). Empty = key omitted.
+  void setTune(std::string TuneLine) { Tune = std::move(TuneLine); }
+
   /// Writes the report to \p Path. \returns false on I/O failure.
   bool writeFile(const std::string &Path) const {
     std::FILE *F = std::fopen(Path.c_str(), "w");
@@ -100,6 +106,8 @@ public:
     std::fprintf(F, "  \"bench\": \"%s\",\n", escaped(Bench).c_str());
     std::fprintf(F, "  \"host_hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
+    if (!Tune.empty())
+      std::fprintf(F, "  \"tune\": \"%s\",\n", escaped(Tune).c_str());
     std::fprintf(F, "  \"results\": [\n");
     for (std::size_t I = 0; I < Records.size(); ++I) {
       const BenchRecord &R = Records[I];
@@ -150,6 +158,7 @@ private:
   }
 
   std::string Bench;
+  std::string Tune; ///< optional "tune" key (setTune)
   std::vector<BenchRecord> Records;
 };
 

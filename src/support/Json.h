@@ -77,10 +77,17 @@ struct Value {
 
 namespace detail {
 
+/// Hard cap on container nesting. The parser is recursive-descent, so a
+/// hostile `[[[[...]]]]` job spec or machine-profile file would otherwise
+/// walk the stack off a cliff; 64 levels is far beyond anything our
+/// writers emit while staying thousands of frames short of overflow.
+inline constexpr int MaxParseDepth = 64;
+
 struct Parser {
   const char *P;
   const char *End;
   std::string Error;
+  int Depth = 0;
 
   void skipSpace() {
     while (P < End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
@@ -155,6 +162,15 @@ struct Parser {
   }
 
   bool parseValue(Value &Out) {
+    if (Depth >= MaxParseDepth)
+      return fail("nesting too deep");
+    ++Depth;
+    const bool Ok = parseValueNested(Out);
+    --Depth;
+    return Ok;
+  }
+
+  bool parseValueNested(Value &Out) {
     skipSpace();
     if (P >= End)
       return fail("unexpected end of input");

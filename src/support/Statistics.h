@@ -19,6 +19,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace hichi {
@@ -43,10 +44,17 @@ public:
   /// Sample variance (N-1 denominator); zero for fewer than two samples.
   double variance() const { return N < 2 ? 0.0 : M2 / double(N - 1); }
   double stddev() const { return std::sqrt(variance()); }
-  double min() const { return Min; }
-  double max() const { return Max; }
+
+  /// Extrema of the samples seen so far. An empty accumulator has no
+  /// extrema: both return NaN, so a stage that never ran cannot
+  /// masquerade as a 0 ns minimum in stats printouts or bench records.
+  /// Callers that print should check count() (or std::isnan) first.
+  double min() const { return N == 0 ? nan() : Min; }
+  double max() const { return N == 0 ? nan() : Max; }
 
 private:
+  static double nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
   std::size_t N = 0;
   double Mean = 0.0;
   double M2 = 0.0;
@@ -66,6 +74,25 @@ inline double median(std::vector<double> Values) {
   std::nth_element(Values.begin(), Values.begin() + Mid - 1,
                    Values.begin() + Mid);
   return 0.5 * (Hi + Values[Mid - 1]);
+}
+
+/// Linear-interpolation percentile of an already-sorted sample.
+/// \p Q is the quantile in [0, 1] (0.5 = median, 0.95 = p95); an empty
+/// sample yields 0.0 so report writers can print unconditionally. The
+/// caller sorts ONCE and asks for as many quantiles as it wants — the
+/// shared replacement for the per-call re-sorting copies that used to
+/// live in bench_serve/hichi_serve.
+inline double percentile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  assert(std::is_sorted(Sorted.begin(), Sorted.end()) &&
+         "percentile needs a sorted sample");
+  Q = std::min(1.0, std::max(0.0, Q));
+  const double Pos = Q * double(Sorted.size() - 1);
+  const std::size_t Lo = std::size_t(Pos);
+  const std::size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  const double Frac = Pos - double(Lo);
+  return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
 }
 
 /// Relative difference |A-B| / max(|A|,|B|), with 0/0 -> 0. Used by the

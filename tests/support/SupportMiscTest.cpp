@@ -7,12 +7,15 @@
 #include "support/AlignedAllocator.h"
 #include "support/CpuTopology.h"
 #include "support/EnvVar.h"
+#include "support/Json.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 using namespace hichi;
@@ -53,6 +56,59 @@ TEST(RelativeDifferenceTest, Properties) {
   EXPECT_DOUBLE_EQ(relativeDifference(1.0, 1.0), 0.0);
   EXPECT_DOUBLE_EQ(relativeDifference(1.0, 2.0), 0.5);
   EXPECT_DOUBLE_EQ(relativeDifference(2.0, 1.0), 0.5);
+}
+
+// Empty extrema are NaN, not +-infinity: a printf of the seeded
+// sentinels used to put "inf"/"-inf" in reports when a stage never ran.
+TEST(RunningStatsTest, EmptyExtremaAreNaN) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_TRUE(std::isnan(S.min()));
+  EXPECT_TRUE(std::isnan(S.max()));
+  S.add(1.0);
+  EXPECT_FALSE(std::isnan(S.min()));
+}
+
+TEST(PercentileTest, InterpolatesSortedSamples) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0); // empty: defined as 0
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+  const std::vector<double> S = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(S, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(S, 0.25), 17.5); // between 10 and 20
+  EXPECT_DOUBLE_EQ(percentile(S, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(S, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(S, -0.5), 10.0); // Q clamps to [0, 1]
+  EXPECT_DOUBLE_EQ(percentile(S, 1.5), 40.0);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser hardening
+//===----------------------------------------------------------------------===//
+
+// The parser is recursive-descent: without the depth cap a hostile
+// [[[[...]]]] document recursed once per bracket and walked off the
+// stack (this test crashed instead of failing on the old code).
+TEST(JsonParseTest, RejectsTooDeepNesting) {
+  const int TooDeep = json::detail::MaxParseDepth + 1;
+  std::string Doc(std::size_t(TooDeep), '[');
+  Doc.append(std::size_t(TooDeep), ']');
+  json::Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse(Doc, V, &Error));
+  EXPECT_NE(Error.find("nesting too deep"), std::string::npos) << Error;
+}
+
+TEST(JsonParseTest, AcceptsNestingBelowTheCap) {
+  const int Deep = json::detail::MaxParseDepth - 1;
+  std::string Doc(std::size_t(Deep), '[');
+  Doc.append(std::size_t(Deep), ']');
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Doc, V, &Error)) << Error;
+  // Mixed object/array nesting counts every container level.
+  json::Value V2;
+  EXPECT_TRUE(json::parse(R"({"a": [{"b": [1, 2]}]})", V2, &Error)) << Error;
 }
 
 //===----------------------------------------------------------------------===//

@@ -27,6 +27,7 @@
 
 #include "serve/Scheduler.h"
 #include "support/ArgParse.h"
+#include "support/Statistics.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -40,17 +41,6 @@ using namespace hichi;
 using namespace hichi::serve;
 
 namespace {
-
-double percentileNs(std::vector<double> Sorted, double Fraction) {
-  if (Sorted.empty())
-    return 0;
-  std::sort(Sorted.begin(), Sorted.end());
-  const double Pos = Fraction * double(Sorted.size() - 1);
-  const std::size_t Lo = std::size_t(Pos);
-  const std::size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
-  const double Frac = Pos - double(Lo);
-  return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
-}
 
 /// Manifest facts of a previous run over the same StateDir.
 struct ManifestEntry {
@@ -233,11 +223,12 @@ int main(int Argc, char **Argv) {
   for (const auto &Tenant : PerTenant)
     std::printf("  tenant %-12s %d jobs\n", Tenant.first.c_str(),
                 Tenant.second);
+  std::sort(Latencies.begin(), Latencies.end());
   if (FreshCompleted > 0)
     std::printf("throughput: %.2f jobs/s; latency p50 %.1f ms, p95 %.1f ms\n",
                 double(FreshCompleted) / (WallNs / 1e9),
-                percentileNs(Latencies, 0.50) / 1e6,
-                percentileNs(Latencies, 0.95) / 1e6);
+                percentile(Latencies, 0.50) / 1e6,
+                percentile(Latencies, 0.95) / 1e6);
   const std::vector<exec::ShardStat> Lanes = Pool.backend().shardStats();
   long long PoolLaunches = 0;
   double PoolBusyNs = 0;
