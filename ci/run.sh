@@ -44,6 +44,12 @@ run_smoke_benches() {
   # HICHI_BENCH_REBALANCE=0 would drop the rebalanced rows.
   HICHI_BENCH_JSON=results/BENCH_pic_rebalance.json \
     ./build/bench_pic_rebalance
+  # bench_pic_window fails by itself if any configuration deviates from
+  # the serial state hash on the moving-window scenario, if retire !=
+  # inject, or if a shift ever touches more than 9 x Ny x Nz lattice
+  # elements per shifted plane (the O(shifted planes) ring guarantee);
+  # records stage "window-shift".
+  HICHI_BENCH_JSON=results/BENCH_pic_window.json ./build/bench_pic_window
   # bench_serve fails by itself if any served job's final hash deviates
   # from a standalone serial run of the same spec; records throughput
   # (stage "serve") and per-job latency (stage "latency") per config.
@@ -192,7 +198,10 @@ for SCENARIO_ARGS in \
     "--scenario drifting-slab --rebalance 1.3 --graph" \
     "--scenario two-stream --steps 60" \
     "--scenario density-gradient --steps 80" \
-    "--scenario density-gradient --steps 80 --rebalance 1.3"; do
+    "--scenario density-gradient --steps 80 --rebalance 1.3" \
+    "--scenario moving-window --steps 60" \
+    "--scenario moving-window --steps 60 --rebalance 1.3" \
+    "--scenario moving-window --steps 60 --graph"; do
   SCENARIO_HASHES="$(
     for B in serial openmp; do
       # shellcheck disable=SC2086

@@ -77,6 +77,13 @@ int main(int Argc, char **Argv) {
                  "0");
   Args.addOption("rebalance-every", "steps between rebalance skew checks",
                  "10");
+  Args.addFlag("moving-window",
+               "slide the simulation window along +x (pic/YeeGrid.h ring "
+               "window): retire particles at the trailing edge, inject the "
+               "same uniform plasma at the leading edge. FDTD only");
+  Args.addOption("window-speed",
+                 "moving-window speed in units of c (with --moving-window)",
+                 "1");
   Args.addOption("checkpoint-every",
                  "save a full-state checkpoint (particles + fields + step "
                  "index; core/Checkpoint.h) every N steps (0 = off)",
@@ -170,6 +177,13 @@ int main(int Argc, char **Argv) {
   Options.RebalanceThreshold = Args.getDouble("rebalance").value_or(0.0);
   Options.RebalanceEveryNSteps =
       int(Args.getInt("rebalance-every").value_or(10));
+  if (Args.getFlag("moving-window")) {
+    Options.MovingWindow.Enabled = true;
+    Options.MovingWindow.Speed = Args.getDouble("window-speed").value_or(1.0);
+    Options.MovingWindow.InjectPerCell = PerCell;
+    Options.MovingWindow.InjectType = short(PS_Electron);
+    Options.MovingWindow.InjectWeight = Weight;
+  }
   const std::string SolverName = Args.getString("solver");
   if (SolverName == "spectral") {
     Options.Solver = FieldSolverKind::Spectral;
@@ -266,7 +280,13 @@ int main(int Argc, char **Argv) {
                  exec::listBackendNames(", ").c_str());
     return 1;
   }
-  PicSimulation<double> Sim(N, {0, 0, 0}, Step, NumParticles,
+  // Injection lands after retirement within a shift, so the live count
+  // stays at NumParticles; a few planes of slack covers the transient.
+  const Index Capacity =
+      Options.MovingWindow.Enabled
+          ? NumParticles + Index(4) * N.Ny * N.Nz * Index(PerCell)
+          : NumParticles;
+  PicSimulation<double> Sim(N, {0, 0, 0}, Step, Capacity,
                             ParticleTypeTable<double>::natural(), Options);
   seedEnsemble(Sim);
 
@@ -376,6 +396,13 @@ int main(int Argc, char **Argv) {
                 RS.Checks, RS.Fires, Options.RebalanceThreshold, RS.LastSkew,
                 RS.MaxSkew);
   }
+  if (Options.MovingWindow.Enabled)
+    std::printf("moving window: %lld shifts (%lld planes), %lld retired, "
+                "%lld injected, %lld live\n",
+                Sim.windowShiftCount(),
+                (long long)Sim.windowOriginPlanes(),
+                Sim.windowRetiredCount(), Sim.windowInjectedCount(),
+                (long long)Sim.particles().size());
   if (Sim.usesStepGraph()) {
     const exec::StepGraph *Graph = Sim.stepGraph();
     std::printf("step graph: %zu nodes, %zu edges; %lld capture(s), %lld "

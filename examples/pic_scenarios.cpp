@@ -42,7 +42,7 @@ int main(int Argc, char **Argv) {
                  "expectations and rebalancing knobs");
   Args.addOption("scenario",
                  "one of: drifting-slab, two-stream, two-species, "
-                 "density-gradient",
+                 "density-gradient, moving-window",
                  "drifting-slab");
   Args.addOption("backend",
                  "exec backend for all three parallel stages "
@@ -93,6 +93,10 @@ int main(int Argc, char **Argv) {
     S = makeDensityGradientScenario<double>({64, 4, 4},
                                             PerCell > 0 ? PerCell : 4);
     DefaultSteps = 150;
+  } else if (Name == "moving-window") {
+    S = makeMovingWindowScenario<double>({64, 4, 4},
+                                         PerCell > 0 ? PerCell : 2);
+    DefaultSteps = 120;
   } else {
     std::fprintf(stderr, "error: unknown scenario '%s'\n", Name.c_str());
     return 1;
@@ -102,6 +106,7 @@ int main(int Argc, char **Argv) {
   Options.LightVelocity = 1.0;
   Options.SortEveryNSteps = 20;
   Options.AbsorbingCells = S.AbsorbingCells;
+  Options.MovingWindow = S.MovingWindow;
   Options.UseStepGraph = Args.getFlag("graph");
   Options.RebalanceThreshold = Args.getDouble("rebalance").value_or(0.0);
   Options.RebalanceEveryNSteps =
@@ -124,15 +129,17 @@ int main(int Argc, char **Argv) {
   }
 
   PicSimulation<double> Sim(S.Grid, S.Origin, S.Step,
-                            Index(S.Particles.size()), S.Types, Options);
+                            Index(S.Particles.size()) + S.ExtraCapacity,
+                            S.Types, Options);
   seedScenario(Sim, S);
 
   const Index N0 = Sim.particles().size();
   std::printf("scenario '%s': %lld particles on a %lldx%lldx%lld grid, "
-              "backend '%s'%s\n\n",
+              "backend '%s'%s%s\n\n",
               S.Name.c_str(), (long long)N0, (long long)S.Grid.Nx,
               (long long)S.Grid.Ny, (long long)S.Grid.Nz, Backend.c_str(),
-              Options.AbsorbingCells > 0 ? ", absorbing x boundary" : "");
+              Options.AbsorbingCells > 0 ? ", absorbing x boundary" : "",
+              Options.MovingWindow.Enabled ? ", moving window" : "");
 
   const int TotalSteps = int(Args.getInt("steps").value_or(0)) > 0
                              ? int(*Args.getInt("steps"))
@@ -188,6 +195,13 @@ int main(int Argc, char **Argv) {
   if (Options.AbsorbingCells > 0)
     std::printf("open boundary: %lld absorbed, %lld live\n",
                 Sim.absorbedParticleCount(),
+                (long long)Sim.particles().size());
+  if (Options.MovingWindow.Enabled)
+    std::printf("moving window: %lld shifts (%lld planes), %lld retired, "
+                "%lld injected, %lld live\n",
+                Sim.windowShiftCount(),
+                (long long)Sim.windowOriginPlanes(),
+                Sim.windowRetiredCount(), Sim.windowInjectedCount(),
                 (long long)Sim.particles().size());
   if (Sim.rebalanceStats().Checks > 0) {
     const RebalanceStats RS = Sim.rebalanceStats();

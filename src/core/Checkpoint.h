@@ -23,6 +23,13 @@
 ///     lattices, so a restored PIC run continues bit-identically: the
 ///     restart replays the same `t += dt` accumulation from the same
 ///     bits. saveSimulationCheckpoint / loadSimulationCheckpoint.
+///   * **v3 (full state + moving window)** — v2 plus a window block
+///     (origin planes, ring base, shift count) between the state header
+///     and the particle records, so a mid-shift moving-window run
+///     restores bit-identically: field lattices are saved in raw
+///     physical (ring) order and the ring base re-labels them on load.
+///     The writer always emits v3; the loader accepts v2 (window at
+///     rest, origin 0) and v3.
 ///
 /// Every loader rejects rather than crashes on damaged input (truncated
 /// file, wrong magic, wrong version, scalar-width mismatch) and, when
@@ -47,8 +54,9 @@ namespace hichi {
 namespace checkpoint_detail {
 
 inline constexpr std::uint32_t Magic = 0x48434850; // "HCHP"
-inline constexpr std::uint32_t Version = 1;        // ensemble-only
-inline constexpr std::uint32_t StateVersion = 2;   // full simulation state
+inline constexpr std::uint32_t Version = 1;          // ensemble-only
+inline constexpr std::uint32_t StateVersionV2 = 2;   // full state, no window
+inline constexpr std::uint32_t StateVersion = 3;     // full state + window
 
 struct Header {
   std::uint32_t Magic = checkpoint_detail::Magic;
@@ -71,6 +79,17 @@ struct StateHeader {
 };
 static_assert(sizeof(StateHeader) == 24, "state header must be 24 bytes");
 
+/// v3 window block, between the state header and the particle records.
+/// PhysBase re-labels the raw-order field lattices on load; OriginPlanes
+/// and ShiftCount restore the logical window position and its history
+/// (both feed picStateHash, so a mid-shift restore hashes identically).
+struct WindowBlock {
+  std::int64_t OriginPlanes = 0;
+  std::int64_t PhysBase = 0;
+  std::int64_t ShiftCount = 0;
+};
+static_assert(sizeof(WindowBlock) == 24, "window block must be 24 bytes");
+
 /// One packed record; written scalar by scalar so the file format does
 /// not inherit struct padding.
 template <typename Real> struct PackedParticle {
@@ -83,11 +102,13 @@ inline void setError(std::string *Error, std::string Message) {
     *Error = std::move(Message);
 }
 
-/// Reads and validates the common header. \returns false with a
-/// one-line reason if the file is truncated, foreign, the wrong
-/// version, or the wrong scalar width.
+/// Reads and validates the common header; accepted versions are the
+/// inclusive range [WantVersionLo, WantVersionHi] (v2 and v3 share one
+/// loader). \returns false with a one-line reason if the file is
+/// truncated, foreign, the wrong version, or the wrong scalar width.
 inline bool readHeader(std::FILE *File, const std::string &Path,
-                       std::uint32_t WantVersion, std::uint32_t WantScalar,
+                       std::uint32_t WantVersionLo,
+                       std::uint32_t WantVersionHi, std::uint32_t WantScalar,
                        Header &Head, std::string *Error) {
   if (std::fread(&Head, sizeof(Head), 1, File) != 1) {
     setError(Error, Path + ": truncated checkpoint (header incomplete)");
@@ -97,11 +118,16 @@ inline bool readHeader(std::FILE *File, const std::string &Path,
     setError(Error, Path + ": not a hichi checkpoint (bad magic)");
     return false;
   }
-  if (Head.Version != WantVersion) {
+  if (Head.Version < WantVersionLo || Head.Version > WantVersionHi) {
+    const std::string Want =
+        WantVersionLo == WantVersionHi
+            ? std::to_string(WantVersionLo)
+            : std::to_string(WantVersionLo) + "-" +
+                  std::to_string(WantVersionHi);
     setError(Error, Path + ": checkpoint version " +
-                        std::to_string(Head.Version) + ", expected " +
-                        std::to_string(WantVersion) +
-                        (Head.Version == StateVersion
+                        std::to_string(Head.Version) + ", expected " + Want +
+                        (Head.Version >= StateVersionV2 &&
+                                 WantVersionHi < StateVersionV2
                              ? " (full-state file: use "
                                "loadSimulationCheckpoint)"
                              : ""));
@@ -212,7 +238,7 @@ bool loadCheckpoint(Array &Particles, const std::string &Path,
   }
 
   Header Head;
-  bool Ok = readHeader(File, Path, Version, sizeof(Real), Head, Error);
+  bool Ok = readHeader(File, Path, Version, Version, sizeof(Real), Head, Error);
   if (Ok && Head.Count > Particles.capacity()) {
     setError(Error, Path + ": " + std::to_string(Head.Count) +
                         " particles exceed array capacity " +
@@ -237,12 +263,19 @@ template <typename Real> struct CheckpointFieldMut {
   Index Count = 0;
 };
 
-/// Writes a v2 full-state checkpoint: particles plus step index,
-/// simulation time, and the given field lattices. \returns false on
-/// I/O failure, with a reason in \p Error when provided.
+/// Moving-window state carried by a v3 checkpoint (all zero for a
+/// fixed-window run — and for any v2 file on load).
+using CheckpointWindow = checkpoint_detail::WindowBlock;
+
+/// Writes a v3 full-state checkpoint: particles plus step index,
+/// simulation time, moving-window state, and the given field lattices
+/// (raw physical storage order; \p Window.PhysBase re-labels it on
+/// load). \returns false on I/O failure, with a reason in \p Error when
+/// provided.
 template <typename Array>
 bool saveSimulationCheckpoint(
     const Array &Particles, std::int64_t StepIndex, double Time,
+    const CheckpointWindow &Window,
     const std::vector<CheckpointFieldRef<typename Array::Scalar>> &Fields,
     const std::string &Path, std::string *Error = nullptr) {
   using Real = typename Array::Scalar;
@@ -264,6 +297,7 @@ bool saveSimulationCheckpoint(
   State.FieldCount = std::uint32_t(Fields.size());
   bool Ok = std::fwrite(&Head, sizeof(Head), 1, File) == 1 &&
             std::fwrite(&State, sizeof(State), 1, File) == 1 &&
+            std::fwrite(&Window, sizeof(Window), 1, File) == 1 &&
             writeParticles(File, Particles);
   for (const CheckpointFieldRef<Real> &F : Fields) {
     if (!Ok)
@@ -279,15 +313,28 @@ bool saveSimulationCheckpoint(
   return Ok;
 }
 
-/// Loads a v2 full-state checkpoint: restores the particles (cleared
-/// first, capacity must suffice), the field lattices (counts must match
-/// the file's), and returns the step index and simulation time. The
-/// field list must name the same lattices in the same order as the
-/// save. \returns false with a reason in \p Error on any mismatch or
-/// damage instead of crashing.
+/// Fixed-window convenience overload: writes a v3 file with a zero
+/// (at-rest) window block.
+template <typename Array>
+bool saveSimulationCheckpoint(
+    const Array &Particles, std::int64_t StepIndex, double Time,
+    const std::vector<CheckpointFieldRef<typename Array::Scalar>> &Fields,
+    const std::string &Path, std::string *Error = nullptr) {
+  return saveSimulationCheckpoint(Particles, StepIndex, Time,
+                                  CheckpointWindow{}, Fields, Path, Error);
+}
+
+/// Loads a v2 or v3 full-state checkpoint: restores the particles
+/// (cleared first, capacity must suffice), the field lattices (counts
+/// must match the file's), the moving-window state (zero for v2 files),
+/// and returns the step index and simulation time. The field list must
+/// name the same lattices in the same order as the save. \returns false
+/// with a reason in \p Error on any mismatch or damage instead of
+/// crashing.
 template <typename Array>
 bool loadSimulationCheckpoint(
     Array &Particles, std::int64_t &StepIndex, double &Time,
+    CheckpointWindow &Window,
     const std::vector<CheckpointFieldMut<typename Array::Scalar>> &Fields,
     const std::string &Path, std::string *Error = nullptr) {
   using Real = typename Array::Scalar;
@@ -300,10 +347,17 @@ bool loadSimulationCheckpoint(
   }
 
   Header Head;
-  bool Ok = readHeader(File, Path, StateVersion, sizeof(Real), Head, Error);
+  bool Ok = readHeader(File, Path, StateVersionV2, StateVersion, sizeof(Real),
+                       Head, Error);
   StateHeader State;
   if (Ok && std::fread(&State, sizeof(State), 1, File) != 1) {
     setError(Error, Path + ": truncated checkpoint (state header missing)");
+    Ok = false;
+  }
+  Window = CheckpointWindow{}; // v2 files carry no window: at rest
+  if (Ok && Head.Version >= StateVersion &&
+      std::fread(&Window, sizeof(Window), 1, File) != 1) {
+    setError(Error, Path + ": truncated checkpoint (window block missing)");
     Ok = false;
   }
   if (Ok && State.FieldCount != Fields.size()) {
@@ -351,6 +405,18 @@ bool loadSimulationCheckpoint(
   }
   std::fclose(File);
   return Ok;
+}
+
+/// Window-less convenience overload: discards the file's window state
+/// (callers that know the run is fixed-window).
+template <typename Array>
+bool loadSimulationCheckpoint(
+    Array &Particles, std::int64_t &StepIndex, double &Time,
+    const std::vector<CheckpointFieldMut<typename Array::Scalar>> &Fields,
+    const std::string &Path, std::string *Error = nullptr) {
+  CheckpointWindow Window;
+  return loadSimulationCheckpoint(Particles, StepIndex, Time, Window, Fields,
+                                  Path, Error);
 }
 
 } // namespace hichi

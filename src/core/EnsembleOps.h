@@ -63,6 +63,18 @@ Index removeIf(Array &Particles, PredFn &&Pred) {
   return Removed;
 }
 
+/// Retires every particle whose x position lies below \p MinX — the
+/// moving-window trailing-edge compaction (particles the window slid
+/// past). Stable order, bitwise-equal survivors, identical semantics for
+/// both layouts: the comparison reads only Position.X through the proxy
+/// and the compaction is removeIf's whole-record load/store.
+/// \returns the number retired.
+template <typename Array, typename Real>
+Index retireParticlesBelowX(Array &Particles, Real MinX) {
+  return removeIf(Particles,
+                  [MinX](const auto &P) { return P.position().X < MinX; });
+}
+
 /// Applies permutation \p NewIndexOf (NewIndexOf[i] = source index of the
 /// particle that should land at position i) — the generic form the
 /// sorter's counting pass produces.

@@ -1,0 +1,79 @@
+//===-- fields/GridWindow.h - Logical moving-window addressing -*- C++ -*-===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The logical↔physical x-plane mapping of a moving simulation window
+/// (the paper's laser–plasma use case: shift the grid with the pulse,
+/// inject fresh plasma at the leading edge, retire cells at the trailing
+/// one). Lattice storage never moves: the Nx physical x-planes form a
+/// ring buffer, and a GridWindow records which physical plane currently
+/// holds logical plane 0. A shift by S planes therefore costs
+/// O(S · plane) — the S retired trailing planes are re-labelled as the
+/// new leading planes and zeroed — never an O(Nx · plane) memmove.
+///
+/// With the window at rest (PhysBase == 0, OriginPlanes == 0) the mapping
+/// is the identity, so every fixed-window run is bit-identical to the
+/// pre-window code: `physical(i) == wrap(i, Nx)` is exactly the periodic
+/// wrap the lattices always applied.
+///
+/// Determinism across backends: the window state advances only through
+/// shift(), driven by the simulation clock (a pure function of the
+/// accumulated time, never of timing or scheduling), so every backend
+/// shifts on the same steps by the same plane counts and moving-window
+/// runs stay bit-comparable — the same argument that makes the
+/// rebalancer's trigger backend-invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HICHI_FIELDS_GRIDWINDOW_H
+#define HICHI_FIELDS_GRIDWINDOW_H
+
+#include "support/Config.h"
+
+#include <cassert>
+
+namespace hichi {
+
+/// Logical origin + extent of a moving window mapped onto ring-buffer
+/// physical x-plane storage.
+struct GridWindow {
+  Index Nx = 0;           ///< x-plane count (the window's extent)
+  Index PhysBase = 0;     ///< physical plane holding logical plane 0
+  Index OriginPlanes = 0; ///< total planes the window has shifted
+  Index ShiftCount = 0;   ///< number of shift events
+
+  GridWindow() = default;
+  explicit GridWindow(Index Nx) : Nx(Nx) { assert(Nx > 0 && "empty window"); }
+
+  static Index wrap(Index I, Index N) {
+    I %= N;
+    return I < 0 ? I + N : I;
+  }
+
+  /// Physical x-plane of logical plane \p Logical (any integer; the
+  /// window is periodic like the lattices it addresses).
+  Index physical(Index Logical) const { return wrap(Logical + PhysBase, Nx); }
+
+  /// Logical x-plane currently stored at physical plane \p Physical.
+  Index logical(Index Physical) const { return wrap(Physical - PhysBase, Nx); }
+
+  /// True while the mapping is the identity (window never shifted).
+  bool atRest() const { return PhysBase == 0 && OriginPlanes == 0; }
+
+  /// Advances the window by \p Planes x-planes: the trailing planes'
+  /// storage becomes the leading planes' storage (the caller zeroes the
+  /// re-labelled planes — logical [Nx - Planes, Nx) after the shift).
+  void shift(Index Planes) {
+    assert(Planes > 0 && "shift must advance the window");
+    PhysBase = wrap(PhysBase + Planes, Nx);
+    OriginPlanes += Planes;
+    ++ShiftCount;
+  }
+};
+
+} // namespace hichi
+
+#endif // HICHI_FIELDS_GRIDWINDOW_H

@@ -124,23 +124,30 @@ private:
   std::vector<double> Counts;
 };
 
-/// FNV-1a over the particle states (positions, momenta, gamma) and the
-/// grid's nine field/current lattices, so cross-backend PIC runs can be
-/// compared for bitwise equality from the console and CI — the PIC
-/// analogue of hichi_push's final state hash. Two runs differing in push
-/// backend, deposit backend, threads or tile count must print the same
-/// hash for the same physics configuration.
+/// FNV-1a over the particle states (positions, momenta, gamma), the
+/// grid's nine field/current lattices, and the moving-window state, so
+/// cross-backend PIC runs can be compared for bitwise equality from the
+/// console and CI — the PIC analogue of hichi_push's final state hash.
+/// Two runs differing in push backend, deposit backend, threads or tile
+/// count must print the same hash for the same physics configuration.
+///
+/// Lattices are walked in *logical* plane order (ScalarLattice's
+/// operator() applies the window's ring translation), and the window's
+/// origin plane count + shift count are mixed in, so a shifted and an
+/// unshifted state can never silently hash-collide even when their ring
+/// storage happens to coincide. At rest the logical walk is exactly the
+/// raw storage order.
 template <typename Array, typename Real>
 std::uint64_t picStateHash(const Array &Particles, const YeeGrid<Real> &Grid) {
   std::uint64_t Hash = 1469598103934665603ULL;
-  auto Mix = [&Hash](Real V) {
-    unsigned char Bytes[sizeof(Real)];
-    std::memcpy(Bytes, &V, sizeof(Real));
-    for (unsigned char B : Bytes) {
-      Hash ^= B;
+  auto MixBytes = [&Hash](const void *Ptr, std::size_t Len) {
+    const unsigned char *Bytes = static_cast<const unsigned char *>(Ptr);
+    for (std::size_t B = 0; B < Len; ++B) {
+      Hash ^= Bytes[B];
       Hash *= 1099511628211ULL;
     }
   };
+  auto Mix = [&MixBytes](Real V) { MixBytes(&V, sizeof(Real)); };
   auto View = Particles.view();
   for (Index I = 0, E = View.size(); I < E; ++I) {
     auto P = View[I];
@@ -148,11 +155,18 @@ std::uint64_t picStateHash(const Array &Particles, const YeeGrid<Real> &Grid) {
     for (Real V : {Pos.X, Pos.Y, Pos.Z, Mom.X, Mom.Y, Mom.Z, P.gamma()})
       Mix(V);
   }
+  const GridSize Sz = Grid.size();
   for (const ScalarLattice<Real> *L :
        {&Grid.Ex, &Grid.Ey, &Grid.Ez, &Grid.Bx, &Grid.By, &Grid.Bz,
         &Grid.Jx, &Grid.Jy, &Grid.Jz})
-    for (Real V : L->raw())
-      Mix(V);
+    for (Index I = 0; I < Sz.Nx; ++I)
+      for (Index J = 0; J < Sz.Ny; ++J)
+        for (Index K = 0; K < Sz.Nz; ++K)
+          Mix((*L)(I, J, K));
+  const GridWindow &W = Grid.window();
+  const std::int64_t WindowState[2] = {std::int64_t(W.OriginPlanes),
+                                       std::int64_t(W.ShiftCount)};
+  MixBytes(WindowState, sizeof(WindowState));
   return Hash;
 }
 

@@ -63,6 +63,11 @@ public:
 
   GridSize size() const { return Size; }
 
+  /// Re-bases the indexer on a moved window origin (pic/YeeGrid.h
+  /// shiftWindow): cell/plane coordinates stay logical — plane 0 is the
+  /// window's trailing edge wherever the window currently sits.
+  void setOrigin(const Vector3<Real> &NewOrigin) { Origin = NewOrigin; }
+
 private:
   GridSize Size;
   Vector3<Real> Origin;

@@ -49,6 +49,7 @@
 
 #include "core/Checkpoint.h"
 #include "core/Core.h"
+#include "core/EnsembleOps.h"
 #include "exec/Autotuner.h"
 #include "exec/BackendRegistry.h"
 #include "exec/ShardedBackend.h"
@@ -66,6 +67,8 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -80,6 +83,39 @@ namespace pic {
 enum class FieldSolverKind {
   Fdtd,     ///< staggered Yee leapfrog; Courant-limited dt
   Spectral, ///< FFT/PSATD; exact per mode, needs power-of-two extents
+};
+
+/// Moving-window configuration (the paper's laser–plasma pulse-tracking
+/// use case): the window slides along +x at Speed * c, retiring
+/// particles the trailing edge passes and injecting fresh plasma into
+/// the planes the leading edge uncovers. The shift trigger is a pure
+/// function of the accumulated simulation time — floor(Speed * c * t /
+/// dx) planes are due after time t — so every backend shifts on the
+/// same steps by the same plane counts and moving-window runs stay
+/// bit-comparable across backends, layouts and shard counts. Injected
+/// particles replicate appendColdBeam's deterministic placement in
+/// *global* plane coordinates, so a window run's fresh plasma is
+/// record-identical to what a big fixed domain would have seeded there.
+/// FDTD only: the spectral solver's global FFTs cannot address a ring
+/// window and the constructor rejects the combination.
+template <typename Real> struct MovingWindowOptions {
+  bool Enabled = false;
+  Real Speed = Real(1);   ///< window speed in units of the light velocity
+  int InjectPerCell = 0;  ///< leading-edge particles per cell (0 = vacuum)
+  short InjectType = 0;   ///< species of the injected plasma
+  Real InjectWeight = Real(0); ///< statistical weight per injected particle
+  Real InjectVx = Real(0);     ///< injection drift velocity along x
+
+  /// Second co-located species emitted record-adjacent to every
+  /// injected particle (-1 = none): the drifting-slab pair idiom, so a
+  /// neutral plasma injects as electron–positron pairs whose current
+  /// contributions cancel bitwise until a field separates them.
+  short InjectPairType = -1;
+
+  /// Density profile n(x)/n0 sampled at each uncovered plane's center
+  /// (global x): the per-plane count is lround(InjectPerCell * profile),
+  /// matching appendDensityRampX's rounding. Null = uniform (factor 1).
+  std::function<Real(Real)> DensityProfile;
 };
 
 /// Configuration of a PIC run.
@@ -180,6 +216,11 @@ template <typename Real> struct PicOptions {
   /// (AbsorbingLayer's quadratic-ramp profile).
   Real AbsorbingStrength = Real(0.5);
 
+  /// Moving-window configuration; Enabled = false leaves every logical↔
+  /// physical mapping the identity, so fixed-window runs are untouched
+  /// bit-for-bit.
+  MovingWindowOptions<Real> MovingWindow;
+
   /// Let the autotuner (exec/Autotuner.h) fill every stage knob still at
   /// its built-in default — backends left at "serial", thread/tile/chunk
   /// counts left at 0, step graph left off — from the host's measured
@@ -224,6 +265,10 @@ public:
         Indexer(Grid), Options(Options) {
     if (this->Options.Tune)
       exec::applyTunePlan(this->Options, exec::Autotuner::hostPlan());
+    if (this->Options.MovingWindow.Enabled &&
+        this->Options.Solver == FieldSolverKind::Spectral)
+      fatalError("moving window requires the FDTD solver (global FFTs "
+                 "cannot address a ring window)");
     Backend = exec::createBackend(this->Options.PushBackend,
                                   {this->Options.PushThreads, /*Grain=*/0});
     if (!Backend)
@@ -601,7 +646,112 @@ private:
       // GraphN key on the next step().
       AbsorbedTotal += Absorber->removeAbsorbedParticles(Particles, Grid);
     }
+    maybeShiftWindow();
     maybeRebalance();
+  }
+
+  /// The moving-window trigger: after time t the window owes
+  /// floor(Speed * c * t / dx) planes of travel; shift by whatever is
+  /// outstanding. A pure function of the accumulated simulation time —
+  /// never of timing or scheduling — so every backend shifts on the
+  /// same steps by the same plane counts (the rebalancer-trigger
+  /// determinism argument).
+  void maybeShiftWindow() {
+    if (!Options.MovingWindow.Enabled)
+      return;
+    const Index Due = Index(std::floor(
+        double(Options.MovingWindow.Speed) * double(Options.LightVelocity) *
+        double(CurrentTime) / double(Grid.step().X)));
+    const Index Planes = Due - Grid.window().OriginPlanes;
+    if (Planes > 0)
+      shiftWindow(Planes);
+  }
+
+  /// One window advance by \p Planes x-planes: slide the grid's ring
+  /// window (O(Planes * plane), zeroing only the uncovered planes),
+  /// retire the particles the trailing edge passed, inject fresh plasma
+  /// into the uncovered leading-edge planes, re-base every logical-
+  /// coordinate consumer (cell indexer, rebalancer histogram), and bump
+  /// the partition epoch so a captured step graph recaptures exactly
+  /// once per shift. Shard-stat windows restart so post-shift imbalance
+  /// reflects the new plasma, not the retired history.
+  void shiftWindow(Index Planes) {
+    Grid.shiftWindow(Planes);
+    WindowRetiredTotal += retireParticlesBelowX(Particles, Grid.origin().X);
+    WindowInjectedTotal += injectLeadingEdge(Planes);
+    Indexer = CellIndexer<Real>(Grid);
+    if (Rebal)
+      Rebal->refreshOrigin(Grid.origin());
+    ++PartitionEpoch;
+    for (exec::ExecutionBackend *E :
+         {Backend.get(), DepositExec.get(), FieldExec.get()})
+      if (auto *Sharded = dynamic_cast<exec::ShardResources *>(E))
+        Sharded->resetShardStats();
+  }
+
+  /// Injects fresh plasma into the \p Planes leading-edge planes the
+  /// window just uncovered (logical [Nx - Planes, Nx)), mirroring
+  /// appendColdBeam's deterministic placement in *global* plane
+  /// coordinates — base origin plus the global plane index — so an
+  /// injected record is bit-identical to what a fixed big-domain run
+  /// would have seeded at the same plane (gamma recomputed from the
+  /// momentum exactly like addParticle; no wrap, the positions are
+  /// inside the box by construction). \returns the number injected;
+  /// aborts with a one-line error if the ensemble capacity lacks
+  /// injection headroom (pushBack's guard is debug-only).
+  Index injectLeadingEdge(Index Planes) {
+    const MovingWindowOptions<Real> &W = Options.MovingWindow;
+    if (W.InjectPerCell <= 0)
+      return 0;
+    const GridSize Sz = Grid.size();
+    const Vector3<Real> O = Grid.baseOrigin();
+    const Vector3<Real> D = Grid.step();
+    const Real C = Options.LightVelocity;
+    const Real Mass = Types[W.InjectType].Mass;
+    const Index First = Planes >= Sz.Nx ? Index(0) : Sz.Nx - Planes;
+    Index Injected = 0;
+    for (Index L = First; L < Sz.Nx; ++L) {
+      const Index Global = Grid.window().OriginPlanes + L;
+      int PerCell = W.InjectPerCell;
+      if (W.DensityProfile) {
+        const Real XCenter = O.X + (Real(Global) + Real(0.5)) * D.X;
+        PerCell = int(std::lround(double(W.InjectPerCell) *
+                                  double(W.DensityProfile(XCenter))));
+      }
+      if (PerCell <= 0)
+        continue;
+      const Index Emitted = W.InjectPairType >= 0 ? Index(2) : Index(1);
+      const Index PlaneCount = Emitted * Index(PerCell) * Sz.Ny * Sz.Nz;
+      if (Particles.size() + PlaneCount > Particles.capacity())
+        fatalError("moving-window injection exceeds the particle capacity "
+                   "(allocate leading-edge headroom)");
+      for (Index J = 0; J < Sz.Ny; ++J)
+        for (Index K = 0; K < Sz.Nz; ++K)
+          for (int P = 0; P < PerCell; ++P) {
+            ParticleT<Real> Part;
+            Part.Position = {
+                O.X + (Real(Global) + Real(P + 0.5) / Real(PerCell)) * D.X,
+                O.Y + (Real(J) + Real(0.5)) * D.Y,
+                O.Z + (Real(K) + Real(0.5)) * D.Z};
+            const Real V = W.InjectVx;
+            const Real Gamma =
+                Real(1) / std::sqrt(Real(1) - (V / C) * (V / C));
+            Part.Momentum = {Gamma * Mass * V, Real(0), Real(0)};
+            Part.Weight = W.InjectWeight;
+            Part.Type = W.InjectType;
+            Part.Gamma = lorentzGamma(Part.Momentum, Mass, C);
+            Particles.pushBack(Part);
+            ++Injected;
+            if (W.InjectPairType >= 0) {
+              Part.Type = W.InjectPairType;
+              Part.Gamma = lorentzGamma(Part.Momentum,
+                                        Types[W.InjectPairType].Mass, C);
+              Particles.pushBack(Part);
+              ++Injected;
+            }
+          }
+    }
+    return Injected;
   }
 
   /// The rebalance check (every RebalanceEveryNSteps steps when armed):
@@ -639,14 +789,19 @@ public:
   }
 
   /// Writes the full simulation state (particles with exact gamma bits,
-  /// all nine field lattices, step index and simulation time) as a v2
-  /// checkpoint, so a restored run continues bit-identically to an
-  /// uninterrupted one. \returns false with a reason in \p Error on I/O
-  /// failure.
+  /// all nine field lattices in raw physical order, the moving-window
+  /// state, step index and simulation time) as a v3 checkpoint, so a
+  /// restored run — including a mid-shift moving-window one — continues
+  /// bit-identically to an uninterrupted one. \returns false with a
+  /// reason in \p Error on I/O failure.
   bool saveState(const std::string &Path, std::string *Error = nullptr) const {
+    CheckpointWindow Win;
+    Win.OriginPlanes = std::int64_t(Grid.window().OriginPlanes);
+    Win.PhysBase = std::int64_t(Grid.window().PhysBase);
+    Win.ShiftCount = std::int64_t(Grid.window().ShiftCount);
     return saveSimulationCheckpoint(Particles, std::int64_t(Steps),
-                                    double(CurrentTime), fieldRefs(), Path,
-                                    Error);
+                                    double(CurrentTime), Win, fieldRefs(),
+                                    Path, Error);
   }
 
   /// Restores a saveState() checkpoint: particles, fields, step index
@@ -659,17 +814,29 @@ public:
   bool restoreState(const std::string &Path, std::string *Error = nullptr) {
     std::int64_t StepIndex = 0;
     double Time = 0;
+    CheckpointWindow Win;
     std::vector<CheckpointFieldMut<Real>> Fields;
     Fields.reserve(9);
     for (ScalarLattice<Real> *L :
          {&Grid.Ex, &Grid.Ey, &Grid.Ez, &Grid.Bx, &Grid.By, &Grid.Bz,
           &Grid.Jx, &Grid.Jy, &Grid.Jz})
       Fields.push_back({L->raw().data(), Index(L->raw().size())});
-    if (!loadSimulationCheckpoint(Particles, StepIndex, Time, Fields, Path,
-                                  Error))
+    if (!loadSimulationCheckpoint(Particles, StepIndex, Time, Win, Fields,
+                                  Path, Error))
       return false;
     Steps = int(StepIndex);
     CurrentTime = Real(Time);
+    // Re-base the window onto the restored raw lattices (a v2 file's
+    // zero window makes this the identity), then refresh every
+    // logical-coordinate consumer just like shiftWindow does.
+    GridWindow W(Grid.size().Nx);
+    W.PhysBase = Index(Win.PhysBase);
+    W.OriginPlanes = Index(Win.OriginPlanes);
+    W.ShiftCount = Index(Win.ShiftCount);
+    Grid.restoreWindow(W);
+    Indexer = CellIndexer<Real>(Grid);
+    if (Rebal)
+      Rebal->refreshOrigin(Grid.origin());
     // The captured DAG baked in the pre-restore item counts and block
     // ranges; drop it so the next step() recaptures against the
     // restored ensemble.
@@ -832,6 +999,21 @@ public:
 
   /// Particles removed by the open boundary so far (0 without one).
   long long absorbedParticleCount() const { return AbsorbedTotal; }
+
+  /// Window shift events so far (0 for fixed-window runs).
+  long long windowShiftCount() const {
+    return (long long)(Grid.window().ShiftCount);
+  }
+
+  /// Total x-planes the window has advanced (origin() - baseOrigin()
+  /// in plane units).
+  Index windowOriginPlanes() const { return Grid.window().OriginPlanes; }
+
+  /// Particles retired by the trailing edge so far.
+  long long windowRetiredCount() const { return WindowRetiredTotal; }
+
+  /// Particles injected at the leading edge so far.
+  long long windowInjectedCount() const { return WindowInjectedTotal; }
 
   /// The open-boundary sponge, or nullptr when AbsorbingCells == 0.
   const AbsorbingLayer<Real> *absorbingLayer() const {
@@ -1260,6 +1442,8 @@ private:
   long long PartitionEpoch = 0; ///< bumped by every fired repartition
   long long GraphEpoch = -1;    ///< PartitionEpoch the graph captured at
   long long AbsorbedTotal = 0;  ///< particles removed by the open boundary
+  long long WindowRetiredTotal = 0;  ///< retired by the trailing edge
+  long long WindowInjectedTotal = 0; ///< injected at the leading edge
   int FieldTileCount = 1;
   Real CurrentTime = Real(0);
   int Steps = 0;

@@ -87,6 +87,11 @@ public:
     Occupancy.assign(std::size_t(Size.Nx), 0.0);
   }
 
+  /// Re-bases the occupancy indexer on a moved window origin so the
+  /// histogram keeps measuring *logical* x-planes after a window shift
+  /// (plane 0 = the window's trailing edge, wherever the window sits).
+  void refreshOrigin(const Vector3<Real> &Origin) { Indexer.setOrigin(Origin); }
+
   double threshold() const { return Threshold; }
   Index evalBlockCount() const { return Index(EvalBounds.size()) - 1; }
   const RebalanceStats &stats() const { return Stats; }

@@ -51,9 +51,11 @@
 
 #include "core/EnsembleInit.h"
 #include "core/ParticleTypes.h"
+#include "pic/PicSimulation.h"
 #include "pic/YeeGrid.h"
 
 #include <cmath>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,20 @@ template <typename Real> struct ScenarioSetup {
   Index AbsorbingCells = 0; ///< forward to PicOptions::AbsorbingCells
   Real ExpectedOmega = Real(0);      ///< analytic frequency (0 = n/a)
   Real ExpectedGrowthRate = Real(0); ///< analytic growth rate (0 = n/a)
+
+  /// Forward to PicOptions::MovingWindow (Enabled = false for the
+  /// fixed-window scenarios).
+  MovingWindowOptions<Real> MovingWindow;
+
+  /// Ensemble slots beyond Particles.size() the runner must allocate —
+  /// moving-window injection headroom (pushBack's capacity guard is
+  /// debug-only, so the runner sizes the array up front).
+  Index ExtraCapacity = 0;
+
+  /// Initial field configuration applied to the simulation's grid after
+  /// seeding (null = start from zero fields): the laser-pulse seeder of
+  /// the moving-window scenario.
+  std::function<void(YeeGrid<Real> &)> SeedFields;
 };
 
 /// Seeds \p Sim with the scenario's particles (addParticle wraps
@@ -82,6 +98,8 @@ template <typename Real, typename Sim>
 void seedScenario(Sim &Simulation, const ScenarioSetup<Real> &S) {
   for (const ParticleT<Real> &P : S.Particles)
     Simulation.addParticle(P);
+  if (S.SeedFields)
+    S.SeedFields(Simulation.grid());
 }
 
 /// The drifting neutral pair slab (see file header): \p PairsPerCell
@@ -207,6 +225,74 @@ ScenarioSetup<Real> makeDensityGradientScenario(GridSize N = {64, 4, 4},
   appendDensityRampX(S.Particles, N, S.Origin, S.Step, PerCell,
                      short(PS_Proton), S.Types[PS_Proton].Mass, Weight,
                      Real(0), Real(1), Begin, End, Real(0.2), Real(1.8));
+  return S;
+}
+
+/// Pulse-tracking laser–plasma moving window (the paper's production
+/// use case): a transverse Gaussian pulse (Ey = Bz, the +x-propagating
+/// combination) rides through a neutral pair plasma at rest while the
+/// window follows it at \p WindowSpeed (units of c). The trailing edge
+/// retires plasma the pulse has left behind; the leading edge injects
+/// fresh pairs with the same deterministic placement the seeding used,
+/// so the pulse always sees undisturbed plasma ahead — the skew
+/// workload the rebalancer exists for, now with the domain itself
+/// moving. Pairs are emitted record-adjacent (the drifting-slab idiom):
+/// until the pulse separates them their currents cancel bitwise.
+template <typename Real>
+ScenarioSetup<Real> makeMovingWindowScenario(GridSize N = {64, 4, 4},
+                                             int PairsPerCell = 2,
+                                             Real PulseAmplitude = Real(0.05),
+                                             Real WindowSpeed = Real(1)) {
+  ScenarioSetup<Real> S;
+  S.Name = "moving-window";
+  S.Grid = N;
+  const Real Weight = Real(0.01);
+  for (Index I = 0; I < N.Nx; ++I)
+    for (Index J = 0; J < N.Ny; ++J)
+      for (Index K = 0; K < N.Nz; ++K)
+        for (int P = 0; P < PairsPerCell; ++P) {
+          ParticleT<Real> Part;
+          Part.Position = {S.Origin.X + (Real(I) + Real(P + 0.5) /
+                                                       Real(PairsPerCell)) *
+                                            S.Step.X,
+                           S.Origin.Y + (Real(J) + Real(0.5)) * S.Step.Y,
+                           S.Origin.Z + (Real(K) + Real(0.5)) * S.Step.Z};
+          Part.Momentum = Vector3<Real>::zero();
+          Part.Weight = Weight;
+          Part.Gamma = Real(1);
+          Part.Type = PS_Electron;
+          S.Particles.push_back(Part);
+          Part.Type = PS_Positron; // co-located: currents cancel bitwise
+          S.Particles.push_back(Part);
+        }
+  const Real X0 = S.Origin.X + Real(0.65) * Real(N.Nx) * S.Step.X;
+  const Real Sigma = Real(3) * S.Step.X;
+  S.SeedFields = [X0, Sigma, PulseAmplitude](YeeGrid<Real> &G) {
+    const GridSize Sz = G.size();
+    const Vector3<Real> O = G.origin();
+    const Vector3<Real> D = G.step();
+    for (Index I = 0; I < Sz.Nx; ++I) {
+      // Yee staggering: Ey lives at (i, j+1/2, k), Bz at (i+1/2, ...).
+      const Real XE = (O.X + Real(I) * D.X - X0) / Sigma;
+      const Real XB = (O.X + (Real(I) + Real(0.5)) * D.X - X0) / Sigma;
+      const Real Ey = PulseAmplitude * std::exp(-XE * XE);
+      const Real Bz = PulseAmplitude * std::exp(-XB * XB);
+      for (Index J = 0; J < Sz.Ny; ++J)
+        for (Index K = 0; K < Sz.Nz; ++K) {
+          G.Ey(I, J, K) = Ey;
+          G.Bz(I, J, K) = Bz;
+        }
+    }
+  };
+  S.MovingWindow.Enabled = true;
+  S.MovingWindow.Speed = WindowSpeed;
+  S.MovingWindow.InjectPerCell = PairsPerCell;
+  S.MovingWindow.InjectType = short(PS_Electron);
+  S.MovingWindow.InjectPairType = short(PS_Positron);
+  S.MovingWindow.InjectWeight = Weight;
+  // Injection lands after retirement within one shift, so the live
+  // count is steady; a few planes of slack absorbs profile rounding.
+  S.ExtraCapacity = Index(4) * N.Ny * N.Nz * Index(2 * PairsPerCell);
   return S;
 }
 

@@ -240,6 +240,12 @@ public:
                 KeepT &Keep, const std::vector<exec::ExecEvent> &After = {},
                 bool BinOnBackend = false) {
     const Index N = View.size();
+    // Re-read the (possibly window-shifted) origin: binning and the
+    // scatter kernels work in logical coordinates relative to the live
+    // window. A shift bumps the partition epoch, so a captured step
+    // graph recaptures through here before any post-shift replay — the
+    // by-value captures below can never go stale.
+    Origin = Grid.origin();
     const Vector3<Real> D = Step, O = Origin;
 
     if (tileCount() == 1) {
@@ -298,10 +304,15 @@ public:
     };
 
     // Phase 3 — reduction into the grid, ascending tile order within each
-    // block. Owned plane ranges are disjoint and plane-contiguous in the
-    // lattice storage, so tiles reduce race-free in parallel too.
+    // block. Owned plane ranges are disjoint, so tiles reduce race-free
+    // in parallel; under a moving window the logical planes ring-map onto
+    // physical storage (possibly straddling the seam), so each logical
+    // plane translates to its own contiguous physical run — identical
+    // element order, and at ring base 0 identical addresses, to the flat
+    // single-run loop this generalizes.
     const std::size_t PlaneElems =
         std::size_t(Size.Ny) * std::size_t(Size.Nz);
+    const Index XBase = Grid.Jx.xBase();
     Real *GJx = Grid.Jx.raw().data();
     Real *GJy = Grid.Jy.raw().data();
     Real *GJz = Grid.Jz.raw().data();
@@ -310,13 +321,17 @@ public:
         const Tile &Slab = TilesPtr[T];
         if (Slab.Particles.empty())
           continue;
-        const std::size_t Offset = std::size_t(Slab.PlaneBegin) * PlaneElems;
-        const std::size_t Count =
-            std::size_t(Slab.PlaneEnd - Slab.PlaneBegin) * PlaneElems;
-        for (std::size_t E = 0; E < Count; ++E) {
-          GJx[Offset + E] += Slab.Jx[E];
-          GJy[Offset + E] += Slab.Jy[E];
-          GJz[Offset + E] += Slab.Jz[E];
+        for (Index P = Slab.PlaneBegin; P < Slab.PlaneEnd; ++P) {
+          const std::size_t Dst =
+              std::size_t(ScalarLattice<Real>::wrap(P + XBase, Sz.Nx)) *
+              PlaneElems;
+          const std::size_t Src =
+              std::size_t(P - Slab.PlaneBegin) * PlaneElems;
+          for (std::size_t E = 0; E < PlaneElems; ++E) {
+            GJx[Dst + E] += Slab.Jx[Src + E];
+            GJy[Dst + E] += Slab.Jy[Src + E];
+            GJz[Dst + E] += Slab.Jz[Src + E];
+          }
         }
       }
     };
@@ -441,7 +456,7 @@ private:
   }
 
   GridSize Size;
-  Vector3<Real> Origin;
+  Vector3<Real> Origin; ///< live window origin, re-read every submitDeposit
   Vector3<Real> Step;
   std::vector<Tile> Tiles;
   std::vector<int> OwnerOfPlane; ///< x-plane -> owning tile

@@ -225,4 +225,115 @@ TEST(CheckpointTest, FullStateRoundTripAndVersionGuard) {
   std::remove(Path.c_str());
 }
 
+TEST(CheckpointTest, WindowBlockRoundTripV3) {
+  const std::string Path = tempPath("ckpt_window.ckpt");
+  ParticleArrayAoS<double> Saved(16);
+  seedAwkwardParticles(Saved, 9);
+  std::vector<double> Field = {std::sqrt(7.0), -0.5};
+
+  CheckpointWindow Window;
+  Window.OriginPlanes = 23;
+  Window.PhysBase = 23 % 16; // ring base after 23 single-plane shifts
+  Window.ShiftCount = 23;
+  std::string Error;
+  ASSERT_TRUE(saveSimulationCheckpoint(
+      Saved, /*StepIndex=*/77, /*Time=*/3.25, Window,
+      {{Field.data(), Index(Field.size())}}, Path, &Error))
+      << Error;
+
+  std::vector<double> Out(Field.size(), 0.0);
+  ParticleArraySoA<double> Restored(16);
+  std::int64_t StepIndex = 0;
+  double Time = 0;
+  CheckpointWindow Loaded;
+  ASSERT_TRUE(loadSimulationCheckpoint(Restored, StepIndex, Time, Loaded,
+                                       {{Out.data(), Index(Out.size())}},
+                                       Path, &Error))
+      << Error;
+  EXPECT_EQ(Loaded.OriginPlanes, 23);
+  EXPECT_EQ(Loaded.PhysBase, 7);
+  EXPECT_EQ(Loaded.ShiftCount, 23);
+  EXPECT_EQ(StepIndex, 77);
+  EXPECT_EQ(Time, 3.25);
+  expectBitwiseEqual(Saved, Restored);
+
+  // The window-less convenience loader still reads the v3 file (it just
+  // discards the window), so fixed-window callers keep working.
+  ASSERT_TRUE(loadSimulationCheckpoint(Restored, StepIndex, Time,
+                                       {{Out.data(), Index(Out.size())}},
+                                       Path, &Error))
+      << Error;
+  expectBitwiseEqual(Saved, Restored);
+
+  // A v3 file cut right after the state header fails with the window
+  // named, not a garbage read.
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(File, nullptr);
+  char Buffer[56]; // 32-byte header + 24-byte state header
+  ASSERT_EQ(std::fread(Buffer, 1, sizeof(Buffer), File), sizeof(Buffer));
+  std::fclose(File);
+  File = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(File, nullptr);
+  ASSERT_EQ(std::fwrite(Buffer, 1, sizeof(Buffer), File), sizeof(Buffer));
+  std::fclose(File);
+  EXPECT_FALSE(loadSimulationCheckpoint(Restored, StepIndex, Time, Loaded,
+                                        {{Out.data(), Index(Out.size())}},
+                                        Path, &Error));
+  EXPECT_NE(Error.find("window block missing"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, LegacyV2FileLoadsWithWindowAtRest) {
+  // Hand-write a genuine v2 file (header + state header + particles +
+  // fields, no window block): pre-window checkpoints must keep loading,
+  // reporting an at-rest window.
+  const std::string Path = tempPath("ckpt_v2_legacy.ckpt");
+  ParticleArrayAoS<double> Saved(8);
+  seedAwkwardParticles(Saved, 5);
+  std::vector<double> Field = {1.5, -2.5, 42.0};
+
+  {
+    using namespace checkpoint_detail;
+    std::FILE *File = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(File, nullptr);
+    Header Head;
+    Head.Version = StateVersionV2;
+    Head.ScalarBytes = sizeof(double);
+    Head.Count = Saved.size();
+    StateHeader State;
+    State.StepIndex = 9;
+    State.Time = 1.125;
+    State.FieldCount = 1;
+    ASSERT_EQ(std::fwrite(&Head, sizeof(Head), 1, File), std::size_t(1));
+    ASSERT_EQ(std::fwrite(&State, sizeof(State), 1, File), std::size_t(1));
+    ASSERT_TRUE(writeParticles(File, Saved));
+    const std::int64_t Count = std::int64_t(Field.size());
+    ASSERT_EQ(std::fwrite(&Count, sizeof(Count), 1, File), std::size_t(1));
+    ASSERT_EQ(std::fwrite(Field.data(), sizeof(double), Field.size(), File),
+              Field.size());
+    std::fclose(File);
+  }
+
+  std::vector<double> Out(Field.size(), 0.0);
+  ParticleArrayAoS<double> Restored(8);
+  std::int64_t StepIndex = 0;
+  double Time = 0;
+  CheckpointWindow Window;
+  Window.OriginPlanes = 99; // must be overwritten, not left stale
+  std::string Error;
+  ASSERT_TRUE(loadSimulationCheckpoint(Restored, StepIndex, Time, Window,
+                                       {{Out.data(), Index(Out.size())}},
+                                       Path, &Error))
+      << Error;
+  EXPECT_EQ(Window.OriginPlanes, 0);
+  EXPECT_EQ(Window.PhysBase, 0);
+  EXPECT_EQ(Window.ShiftCount, 0);
+  EXPECT_EQ(StepIndex, 9);
+  EXPECT_EQ(Time, 1.125);
+  EXPECT_EQ(0, std::memcmp(Field.data(), Out.data(),
+                           Field.size() * sizeof(double)));
+  expectBitwiseEqual(Saved, Restored);
+  std::remove(Path.c_str());
+}
+
 } // namespace

@@ -1,0 +1,123 @@
+//===-- tests/core/ParticleCompactionTest.cpp - Window retirement --------===//
+//
+// Part of the hichi-boris-dpcpp-repro project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// retireParticlesBelowX is the moving-window trailing-edge compaction
+/// (core/EnsembleOps.h): when the window slides, every particle the
+/// window left behind is dropped and the survivors are compacted toward
+/// the front. Because the survivors feed straight back into the
+/// deterministic step loop, the contract is strict: stable relative
+/// order, bitwise-unchanged survivor records, and identical semantics
+/// for the AoS and SoA layouts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace hichi;
+
+namespace {
+
+template <typename Array>
+std::vector<ParticleT<double>> snapshot(const Array &Particles) {
+  std::vector<ParticleT<double>> Records;
+  auto View = Particles.view();
+  for (Index I = 0, E = Particles.size(); I < E; ++I)
+    Records.push_back(View[I].load());
+  return Records;
+}
+
+void expectRecordBitwiseEqual(const ParticleT<double> &A,
+                              const ParticleT<double> &B, Index I) {
+  EXPECT_EQ(A.Position, B.Position) << I;
+  EXPECT_EQ(A.Momentum, B.Momentum) << I;
+  EXPECT_EQ(A.Weight, B.Weight) << I;
+  EXPECT_EQ(A.Gamma, B.Gamma) << I;
+  EXPECT_EQ(A.Type, B.Type) << I;
+}
+
+TEST(ParticleCompactionTest, RetireBelowXCountAndSurvivorsAoS) {
+  const Index N = 97; // odd size, interleaved retained/retired pattern
+  ParticleArrayAoS<double> P(N);
+  initializeRandomEnsemble(P, N, ParticleTypeTable<double>::natural(),
+                           Vector3<double>::zero(), 4.0, 3.0, 1.0,
+                           PS_Electron, 41);
+  const std::vector<ParticleT<double>> Before = snapshot(P);
+  const double MinX = 0.0; // random box is centred on the origin
+  Index Expected = 0;
+  for (const ParticleT<double> &R : Before)
+    Expected += R.Position.X < MinX;
+  ASSERT_GT(Expected, 0);
+  ASSERT_LT(Expected, N);
+
+  EXPECT_EQ(retireParticlesBelowX(P, MinX), Expected);
+  ASSERT_EQ(P.size(), N - Expected);
+
+  // Survivors keep their relative order and are bitwise untouched.
+  Index Write = 0;
+  for (Index I = 0; I < N; ++I) {
+    if (Before[std::size_t(I)].Position.X < MinX)
+      continue;
+    expectRecordBitwiseEqual(P[Write].load(), Before[std::size_t(I)], I);
+    ++Write;
+  }
+  EXPECT_EQ(Write, P.size());
+
+  // A second pass finds nothing left to retire.
+  EXPECT_EQ(retireParticlesBelowX(P, MinX), 0);
+}
+
+TEST(ParticleCompactionTest, AoSAndSoAProduceIdenticalResults) {
+  const Index N = 128;
+  ParticleArrayAoS<double> AoS(N);
+  initializeRandomEnsemble(AoS, N, ParticleTypeTable<double>::natural(),
+                           Vector3<double>(1, -2, 3), 5.0, 2.0, 1.0,
+                           PS_Positron, 42);
+  ParticleArraySoA<double> SoA(N);
+  copyEnsemble(AoS, SoA);
+
+  const double MinX = 1.0;
+  EXPECT_EQ(retireParticlesBelowX(AoS, MinX),
+            retireParticlesBelowX(SoA, MinX));
+  ASSERT_EQ(AoS.size(), SoA.size());
+  for (Index I = 0, E = AoS.size(); I < E; ++I)
+    expectRecordBitwiseEqual(AoS[I].load(), SoA[I].load(), I);
+}
+
+TEST(ParticleCompactionTest, BoundaryIsExclusive) {
+  // X == MinX survives: the window origin plane itself is still inside.
+  ParticleArraySoA<double> P(3);
+  for (double X : {-1.0, 0.0, 1.0}) {
+    ParticleT<double> R;
+    R.Position = {X, 0, 0};
+    R.Weight = X;
+    P.pushBack(R);
+  }
+  EXPECT_EQ(retireParticlesBelowX(P, 0.0), 1);
+  ASSERT_EQ(P.size(), 2);
+  EXPECT_DOUBLE_EQ(P[0].weight(), 0.0);
+  EXPECT_DOUBLE_EQ(P[1].weight(), 1.0);
+}
+
+TEST(ParticleCompactionTest, RetireAllAndRetireNone) {
+  ParticleArrayAoS<double> P(8);
+  for (int I = 0; I < 8; ++I) {
+    ParticleT<double> R;
+    R.Position = {double(I), 0, 0};
+    P.pushBack(R);
+  }
+  EXPECT_EQ(retireParticlesBelowX(P, -1.0), 0);
+  EXPECT_EQ(P.size(), 8);
+  EXPECT_EQ(retireParticlesBelowX(P, 100.0), 8);
+  EXPECT_EQ(P.size(), 0);
+  EXPECT_EQ(retireParticlesBelowX(P, 100.0), 0);
+}
+
+} // namespace

@@ -69,6 +69,53 @@ std::uint64_t hashOf(const PicSimulation<double> &Sim) {
   return picStateHash(Sim.particles(), Sim.grid());
 }
 
+/// The Langmuir setup with the moving window switched on: the window
+/// slides ~1 plane every dx/(c dt) steps, so a 12-step half run saves
+/// mid-shift state (nonzero ring base, retired/injected history).
+std::unique_ptr<PicSimulation<double>> makeMovingWindowSim(bool UseGraph) {
+  const GridSize N{16, 4, 4};
+  const Vector3<double> Step(0.5, 0.5, 0.5);
+  const double BoxLength = double(N.Nx) * Step.X;
+  const double Volume = BoxLength * 2.0 * 2.0;
+  const int PerCell = 2;
+  const Index NumParticles = N.count() * PerCell;
+  const double Weight = Volume / (4.0 * constants::Pi * double(NumParticles));
+
+  PicOptions<double> Options;
+  Options.LightVelocity = 1.0;
+  Options.SortEveryNSteps = 5;
+  Options.UseStepGraph = UseGraph;
+  Options.MovingWindow.Enabled = true;
+  Options.MovingWindow.Speed = 1.0;
+  Options.MovingWindow.InjectPerCell = PerCell;
+  Options.MovingWindow.InjectType = short(PS_Electron);
+  Options.MovingWindow.InjectWeight = Weight;
+  auto Sim = std::make_unique<PicSimulation<double>>(
+      N, Vector3<double>(0, 0, 0), Step,
+      NumParticles + Index(4) * N.Ny * N.Nz * Index(PerCell),
+      ParticleTypeTable<double>::natural(), Options);
+
+  const double V0 = 0.02;
+  const double K = 2.0 * constants::Pi / BoxLength;
+  for (Index C = 0; C < N.count(); ++C) {
+    const Index I = C / (N.Ny * N.Nz);
+    const Index J = (C / N.Nz) % N.Ny;
+    const Index K3 = C % N.Nz;
+    for (int P = 0; P < PerCell; ++P) {
+      ParticleT<double> Particle;
+      Particle.Position = {(double(I) + (P + 0.5) / PerCell) * Step.X,
+                           (double(J) + 0.5) * Step.Y,
+                           (double(K3) + 0.5) * Step.Z};
+      const double Vx = V0 * std::sin(K * Particle.Position.X);
+      Particle.Momentum = {Vx / std::sqrt(1 - Vx * Vx), 0, 0};
+      Particle.Weight = Weight;
+      Particle.Type = PS_Electron;
+      Sim->addParticle(Particle);
+    }
+  }
+  return Sim;
+}
+
 void checkResumeBitIdentical(bool UseGraph) {
   const std::string Path = testing::TempDir() + "pic_resume.ckpt";
   const int N = 12;
@@ -100,6 +147,46 @@ TEST(CheckpointResumeTest, ResumeBitIdenticalClassic) {
 
 TEST(CheckpointResumeTest, ResumeBitIdenticalGraphReplay) {
   checkResumeBitIdentical(/*UseGraph=*/true);
+}
+
+void checkMovingWindowResumeBitIdentical(bool UseGraph) {
+  const std::string Path = testing::TempDir() + "pic_window_resume.ckpt";
+  const int N = 12;
+
+  auto Uninterrupted = makeMovingWindowSim(UseGraph);
+  Uninterrupted->run(2 * N);
+
+  auto FirstHalf = makeMovingWindowSim(UseGraph);
+  FirstHalf->run(N);
+  // The save must happen with a displaced window: a nonzero ring base is
+  // what v3 exists for.
+  ASSERT_GT(FirstHalf->windowShiftCount(), 0);
+  ASSERT_GT(FirstHalf->windowOriginPlanes(), 0);
+  std::string Error;
+  ASSERT_TRUE(FirstHalf->saveState(Path, &Error)) << Error;
+  const std::uint64_t MidHash = hashOf(*FirstHalf);
+
+  auto Resumed = makeMovingWindowSim(UseGraph);
+  ASSERT_TRUE(Resumed->restoreState(Path, &Error)) << Error;
+  EXPECT_EQ(Resumed->stepCount(), N);
+  EXPECT_EQ(Resumed->windowOriginPlanes(), FirstHalf->windowOriginPlanes());
+  EXPECT_EQ(Resumed->windowShiftCount(), FirstHalf->windowShiftCount());
+  EXPECT_EQ(hashOf(*Resumed), MidHash); // the restore itself is bitwise
+  Resumed->run(N);
+
+  EXPECT_EQ(hashOf(*Resumed), hashOf(*Uninterrupted))
+      << "moving-window N + save + restore + N diverged from 2N "
+         "uninterrupted steps";
+  EXPECT_EQ(Resumed->windowOriginPlanes(), Uninterrupted->windowOriginPlanes());
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointResumeTest, MovingWindowResumeBitIdenticalClassic) {
+  checkMovingWindowResumeBitIdentical(/*UseGraph=*/false);
+}
+
+TEST(CheckpointResumeTest, MovingWindowResumeBitIdenticalGraphReplay) {
+  checkMovingWindowResumeBitIdentical(/*UseGraph=*/true);
 }
 
 TEST(CheckpointResumeTest, RestoreFailuresReportReasons) {
